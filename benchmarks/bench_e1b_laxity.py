@@ -1,0 +1,70 @@
+"""E1b — sensitivity to deadline tightness (laxity factor).
+
+Companion to E1: fix the load, sweep how tight deadlines are. Expected
+shape: with very tight deadlines (laxity → 1) nothing can be distributed —
+the protocol's communication budget does not fit — so RTDS degenerates to
+local-only; as laxity grows, the sphere becomes usable and the gap opens;
+with huge laxity everything fits everywhere and all schemes converge.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from benchmarks.conftest import once
+from repro.experiments.reporting import format_table
+from repro.experiments.runner import ExperimentConfig, run_experiment
+
+BASE = ExperimentConfig(
+    topology_kwargs={"n": 16, "p": 0.25, "delay_range": (0.2, 1.0)},
+    rho=0.8,
+    duration=250.0,
+    seed=41,
+)
+
+LAXITIES = (1.3, 2.0, 3.0, 5.0, 8.0)
+
+
+def test_e1b_laxity_sweep(benchmark, emit):
+    def sweep():
+        rows = []
+        for lf in LAXITIES:
+            for algo in ("rtds", "local"):
+                cfg = replace(BASE, algorithm=algo, laxity_factor=lf, label=algo)
+                s = run_experiment(cfg).summary
+                rows.append(
+                    {
+                        "laxity": lf,
+                        "algorithm": algo,
+                        "GR": round(s.guarantee_ratio, 4),
+                        "effGR": round(s.effective_ratio, 4),
+                        "dist": s.n_accepted_distributed,
+                        "miss": s.n_missed,
+                    }
+                )
+        return rows
+
+    rows = once(benchmark, sweep)
+    emit(
+        "e1b_laxity",
+        format_table(
+            rows,
+            title=(
+                "E1b - deadline tightness sweep (rho=0.8)\n"
+                "tight deadlines starve the protocol; slack ones converge everyone"
+            ),
+        ),
+    )
+    by = {(r["algorithm"], r["laxity"]): r for r in rows}
+    # RTDS never loses to local-only by more than noise
+    for lf in LAXITIES:
+        assert by[("rtds", lf)]["GR"] >= by[("local", lf)]["GR"] - 0.03
+    # distribution only happens once deadlines leave room for the protocol
+    assert by[("rtds", LAXITIES[0])]["dist"] <= by[("rtds", LAXITIES[-2])]["dist"]
+    # at generous laxity both schemes are near-perfect
+    assert by[("local", LAXITIES[-1])]["GR"] > 0.9
+    assert by[("rtds", LAXITIES[-1])]["GR"] > 0.95
+    # guarantees stay honest at every tightness
+    for r in rows:
+        if r["algorithm"] == "rtds":
+            assert r["miss"] == 0, r

@@ -1,0 +1,94 @@
+"""E2 — protocol messages per job vs network size.
+
+The title claim: RTDS works on **arbitrary wide** networks because it
+"never broadcasts over all the network" (§3) — per-job traffic depends on
+the sphere (radius h), *not* on the network size. Focused addressing, which
+floods surplus updates network-wide, grows without bound.
+
+Expected shape: RTDS msg/job ~flat as N quadruples; focused msg/job grows
+roughly linearly with N (flooding is Θ(|E|) per update, |E| ∝ N at constant
+degree).
+"""
+
+import pytest
+
+from benchmarks.conftest import once
+from repro.experiments.evaluation import sweep_network_size
+from repro.experiments.reporting import format_table
+from repro.experiments.runner import ExperimentConfig
+
+BASE = ExperimentConfig(
+    topology_kwargs={"n": 16, "p": 0.25, "delay_range": (0.2, 1.0)},
+    rho=0.6,
+    duration=200.0,
+    seed=17,
+)
+
+SIZES = (12, 24, 48)
+
+
+def test_e2_messages_vs_network_size(benchmark, emit):
+    rows = once(benchmark, sweep_network_size, BASE, ("rtds", "focused"), SIZES)
+    table = format_table(
+        rows,
+        title=(
+            "E2 - protocol messages per job vs network size (constant degree 4)\n"
+            "paper claim: RTDS traffic bounded by the sphere, independent of N"
+        ),
+    )
+    emit("e2_network_scaling", table)
+
+    rtds = {r["sites"]: r["msg/job"] for r in rows if r["algorithm"] == "rtds"}
+    focused = {r["sites"]: r["msg/job"] for r in rows if r["algorithm"] == "focused"}
+    # RTDS: quadrupling the network changes per-job cost by < 2x
+    assert rtds[SIZES[-1]] < 2.0 * max(rtds[SIZES[0]], 1.0), rtds
+    # focused addressing: grows superlinearly thanks to flooding
+    assert focused[SIZES[-1]] > 2.0 * focused[SIZES[0]], focused
+    # and is far above RTDS at the largest size
+    assert focused[SIZES[-1]] > 3.0 * rtds[SIZES[-1]]
+
+
+def test_e2_message_type_breakdown(benchmark, emit):
+    """Where RTDS's per-job messages go, by protocol message type.
+
+    SPHERE envelopes (tree broadcasts of ENROLL/VALIDATE/EXECUTE/UNLOCK)
+    and the point-to-point replies dominate; RESULT traffic depends only on
+    how many jobs actually split across sites.
+    """
+    from dataclasses import replace
+    from repro.experiments.runner import run_experiment
+
+    def run():
+        cfg = replace(
+            BASE,
+            algorithm="rtds",
+            topology_kwargs={"n": 24, "p": 4.0 / 23, "delay_range": (0.2, 1.0)},
+        )
+        return run_experiment(cfg)
+
+    res = once(benchmark, run)
+    counts = res.network.stats.snapshot()
+    n_jobs = res.summary.n_jobs
+    rows = [
+        {"mtype": k, "count": v, "per_job": round(v / n_jobs, 2)}
+        for k, v in sorted(counts.items(), key=lambda kv: -kv[1])
+    ]
+    emit(
+        "e2c_message_breakdown",
+        format_table(rows, title=f"E2c - message breakdown, 24 sites, {n_jobs} jobs"),
+    )
+    # routing setup is the only flooding-ish traffic, and it is one-time
+    assert counts.get("ROUTING_UPDATE", 0) == res.setup_messages
+
+
+def test_e2_setup_cost_scales_with_sphere_not_network(benchmark, emit):
+    """PCS construction messages per site are bounded by 2h * degree."""
+    rows = once(benchmark, sweep_network_size, BASE, ("rtds",), SIZES)
+    per_site = {r["sites"]: r["setup_msg"] / r["sites"] for r in rows}
+    table = format_table(
+        [{"sites": n, "setup_msg/site": round(v, 2)} for n, v in sorted(per_site.items())],
+        title="E2b - PCS construction cost per site (should be ~constant)",
+    )
+    emit("e2b_setup_cost", table)
+    vals = [per_site[n] for n in SIZES]
+    assert max(vals) < 2.5 * min(vals), vals

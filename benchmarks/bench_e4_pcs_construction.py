@@ -1,0 +1,111 @@
+"""E4 — PCS construction: correctness and cost of the interrupted APSP.
+
+§7: stopping the distributed Bellman-Ford after 2h phases must leave every
+site with *exact* hop-bounded distances (verified against a centralized
+oracle), at a per-site cost of (2h-1) x degree messages, independent of the
+network size.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import once
+from repro.experiments.reporting import format_table
+from repro.routing.bellman_ford import run_pcs_phase_protocol
+from repro.routing.reference import hop_bounded_distances
+from repro.simnet.engine import Simulator
+from repro.simnet.topology import build_network, erdos_renyi
+from tests.conftest import RecordingSite
+
+
+def construct(n: int, phases: int, seed: int = 5):
+    topo = erdos_renyi(n, min(1.0, 4.0 / (n - 1)), np.random.default_rng(seed),
+                       delay_range=(0.5, 2.0))
+    sim = Simulator()
+    net = build_network(topo, sim, lambda sid, nn: RecordingSite(sid, nn))
+    protos = run_pcs_phase_protocol([net.site(s) for s in net.site_ids()], phases)
+    sim.run()
+    return topo, net, protos, sim
+
+
+def test_e4_correctness_vs_oracle(benchmark, emit):
+    topo, net, protos, sim = once(benchmark, construct, 48, 4)
+    adj = topo.adjacency()
+    mismatches = 0
+    for sid, proto in protos.items():
+        oracle = hop_bounded_distances(adj, sid, 4)
+        got = {d: proto.table.entry(d).distance for d in proto.table.destinations()}
+        if set(got) != set(oracle):
+            mismatches += 1
+            continue
+        for d, (dist, _) in oracle.items():
+            if abs(got[d] - dist) > 1e-9:
+                mismatches += 1
+                break
+    assert mismatches == 0
+    emit(
+        "e4_pcs_correctness",
+        f"48-site ER network, 4 phases (h=2): all {len(protos)} routing tables "
+        f"match the hop-bounded Bellman-Ford oracle exactly.\n"
+        f"total construction messages: {net.stats.total}, "
+        f"construction finished at t={sim.now:.2f}",
+    )
+
+
+def test_e4_cost_scaling(benchmark, emit):
+    rows = []
+
+    def sweep():
+        for n in (16, 32, 64, 128):
+            topo, net, protos, sim = construct(n, 4)
+            per_site = net.stats.total / n
+            rows.append(
+                {
+                    "sites": n,
+                    "messages": net.stats.total,
+                    "msg/site": round(per_site, 2),
+                    "lines_sent/site": round(
+                        sum(p.lines_sent for p in protos.values()) / n, 1
+                    ),
+                    "finish_t": round(sim.now, 2),
+                }
+            )
+        return rows
+
+    once(benchmark, sweep)
+    table = format_table(
+        rows,
+        title=(
+            "E4 - interrupted-APSP construction cost (4 phases, constant degree)\n"
+            "expected: msg/site constant in N (bounded flooding)"
+        ),
+    )
+    emit("e4_pcs_cost", table)
+    per_site = [r["msg/site"] for r in rows]
+    assert max(per_site) < 2.0 * min(per_site), per_site
+
+
+def test_e4_phase_count_vs_coverage(benchmark, emit):
+    """Coverage (|PCS| candidates) grows with phases; messages grow linearly."""
+    rows = []
+
+    def sweep():
+        for phases in (1, 2, 4, 6):
+            topo, net, protos, sim = construct(48, phases)
+            known = np.mean([len(p.table) for p in protos.values()])
+            rows.append(
+                {
+                    "phases": phases,
+                    "mean_known_sites": round(float(known), 1),
+                    "messages": net.stats.total,
+                }
+            )
+        return rows
+
+    once(benchmark, sweep)
+    emit(
+        "e4_phases_vs_coverage",
+        format_table(rows, title="E4b - phases vs discovered sites (48-site ER)"),
+    )
+    assert rows[-1]["mean_known_sites"] > rows[0]["mean_known_sites"]
+    assert rows[-1]["messages"] > rows[0]["messages"]

@@ -1,0 +1,72 @@
+"""E6 — microbenchmarks of the protocol's computational kernels.
+
+Not a paper artifact; establishes that the per-job computations are cheap
+enough for the management processor (the paper's implicit assumption that
+mapper/validation delays are negligible, §13 last bullet):
+
+* Mapper throughput vs DAG size and processor count (O(|T| x |U|) shape);
+* validation insertion test;
+* Hopcroft-Karp coupling;
+* earliest-fit on loaded timelines.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.mapper import build_trial_mapping
+from repro.core.trial_mapping import LogicalProcSpec
+from repro.core.validation import endorse_mapping
+from repro.graphs.generators import layered_dag
+from repro.sched.intervals import BusyTimeline, Reservation
+from repro.sched.matching import hopcroft_karp
+
+
+def procs(k):
+    return [
+        LogicalProcSpec(index=i, surplus=1.0 - 0.05 * i) for i in range(k)
+    ]
+
+
+@pytest.mark.parametrize("n_tasks,n_procs", [(20, 4), (80, 4), (80, 16), (320, 8)])
+def test_e6_mapper_scaling(benchmark, n_tasks, n_procs):
+    dag = layered_dag(max(2, n_tasks // 10), 10, np.random.default_rng(1), jitter=False)
+    ps = procs(n_procs)
+    tm = benchmark(build_trial_mapping, 1, dag, ps, 2.0, 0.0)
+    assert len(tm.assignment) == len(dag)
+
+
+def test_e6_validation_endorse(benchmark):
+    tl = BusyTimeline()
+    t = 0.0
+    for i in range(40):
+        tl.reserve(Reservation(t, t + 1.0, 99, f"bg{i}"))
+        t += 3.0
+    payload = {
+        p: [(f"t{p}_{i}", 1.5, 5.0 * i, 5.0 * i + 40.0) for i in range(10)]
+        for p in range(4)
+    }
+    endorsed, slots = benchmark(endorse_mapping, tl, 1, payload, 0.0)
+    assert isinstance(endorsed, list)
+
+
+def test_e6_hopcroft_karp(benchmark):
+    rng = np.random.default_rng(3)
+    adj = {l: [int(r) for r in rng.choice(64, size=8, replace=False)] for l in range(64)}
+    m = benchmark(hopcroft_karp, adj)
+    assert len(m) > 48  # dense random bipartite ~ near perfect
+
+
+def test_e6_earliest_fit_loaded(benchmark):
+    tl = BusyTimeline()
+    t = 0.0
+    for i in range(500):
+        tl.reserve(Reservation(t, t + 1.0, 99, f"bg{i}"))
+        t += 2.0
+    def probe():
+        out = 0.0
+        for r in range(0, 1000, 37):
+            s = tl.earliest_fit(0.8, float(r), float(r) + 50.0)
+            out += 0.0 if s is None else s
+        return out
+
+    assert benchmark(probe) >= 0.0

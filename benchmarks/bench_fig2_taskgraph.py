@@ -1,0 +1,34 @@
+"""F2 — regenerate **Figure 2**: the example task graph instance.
+
+The paper draws a 5-task DAG; the instance is uniquely reconstructable from
+Table 1 + §12 (see DESIGN.md §4): c = (6, 4, 4, 2, 5), arcs 1→3, 2→3, 1→4,
+3→5, 4→5. This bench renders it and checks all derived quantities the
+example relies on.
+"""
+
+import pytest
+
+from benchmarks.conftest import once
+from repro.graphs.analysis import bottom_levels, critical_path, critical_path_length
+from repro.graphs.generators import paper_example_dag
+from repro.viz.dagviz import render_dag
+
+
+def test_fig2_structure(benchmark, emit):
+    dag = once(benchmark, paper_example_dag)
+    assert set(dag.edges) == {(1, 3), (2, 3), (1, 4), (3, 5), (4, 5)}
+    assert [dag.complexity(t) for t in (1, 2, 3, 4, 5)] == [6, 4, 4, 2, 5]
+    text = render_dag(dag)
+    bl = bottom_levels(dag)
+    text += "\npriorities (bottom levels, §12): " + ", ".join(
+        f"t{t}={bl[t]:g}" for t in (1, 2, 3, 4, 5)
+    )
+    text += f"\ncritical path: {critical_path(dag)} (length {critical_path_length(dag):g})"
+    emit("fig2_taskgraph", text)
+
+
+def test_fig2_priorities(benchmark):
+    dag = paper_example_dag()
+    bl = benchmark(bottom_levels, dag)
+    # the §12 list-scheduling priorities
+    assert bl == {1: 15.0, 2: 13.0, 3: 9.0, 4: 7.0, 5: 5.0}

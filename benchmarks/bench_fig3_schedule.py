@@ -1,0 +1,34 @@
+"""F3 — regenerate **Figure 3**: the schedule S computed by the Mapper.
+
+Paper: p1 = [t1 0-12, t3 13-21, t5 23-33], p2 = [t2 0-10, t4 15-20],
+makespan M = 33 (surpluses I1 = 0.5, I2 = 0.4, ω = 3).
+"""
+
+import pytest
+
+from benchmarks.conftest import once
+from repro.experiments.paper_example import PAPER_FIG3, fig3_schedule, paper_example_trial_mapping
+from repro.viz.gantt import render_gantt, schedule_to_items
+
+
+def test_fig3_exact(benchmark, emit):
+    got = once(benchmark, fig3_schedule)
+    assert got == PAPER_FIG3, "schedule S diverged from the paper's Figure 3"
+    gantt = render_gantt(
+        schedule_to_items(got),
+        title="Figure 3 - schedule S (surplus-scaled durations)  [paper: identical]",
+    )
+    tm = paper_example_trial_mapping()
+    emit("fig3_schedule", gantt + f"\nmakespan M = {tm.makespan:g} (paper: 33)")
+
+
+def test_fig3_mapper_speed(benchmark):
+    """Time the Mapper alone on the paper instance (hot path of every job)."""
+    from repro.core.mapper import build_trial_mapping
+    from repro.core.trial_mapping import LogicalProcSpec
+    from repro.graphs.generators import paper_example_dag
+
+    dag = paper_example_dag()
+    procs = [LogicalProcSpec(0, 0.5), LogicalProcSpec(1, 0.4)]
+    tm = benchmark(build_trial_mapping, 0, dag, procs, 3.0, 0.0)
+    assert tm.makespan == pytest.approx(33.0)

@@ -1,0 +1,34 @@
+"""F4 — regenerate **Figure 4**: the schedule S* (100% surpluses).
+
+Paper: p1 = [t1 0-6, t3 7-11, t5 14-19], p2 = [t2 0-4, t4 9-11],
+makespan M* = 19 — the lower bound of M for the same mapping.
+"""
+
+import pytest
+
+from benchmarks.conftest import once
+from repro.core.adjustment import schedule_sstar
+from repro.experiments.paper_example import (
+    PAPER_FIG4,
+    fig4_schedule,
+    paper_example_trial_mapping,
+)
+from repro.viz.gantt import render_gantt, schedule_to_items
+
+
+def test_fig4_exact(benchmark, emit):
+    got = once(benchmark, fig4_schedule)
+    assert got == PAPER_FIG4, "schedule S* diverged from the paper's Figure 4"
+    gantt = render_gantt(
+        schedule_to_items(got),
+        title="Figure 4 - schedule S* (100% surplus)  [paper: identical]",
+    )
+    ss = schedule_sstar(paper_example_trial_mapping())
+    emit("fig4_schedule_star", gantt + f"\nmakespan M* = {ss.makespan:g} (paper: 19)")
+
+
+def test_fig4_sstar_speed(benchmark):
+    tm = paper_example_trial_mapping()
+    ss = benchmark(schedule_sstar, tm)
+    assert ss.makespan == pytest.approx(19.0)
+    assert ss.makespan <= tm.makespan

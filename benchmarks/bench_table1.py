@@ -1,0 +1,58 @@
+"""T1 — regenerate **Table 1** of the paper (adjusted r(ti), d(ti)).
+
+Paper values (Butelle/Hakem/Finta, §12.2, Table 1):
+
+    ti | ri | di | r(ti) | d(ti)
+    1  |  0 | 12 |   0   |  24
+    2  |  0 | 10 |   0   |  20
+    3  | 13 | 21 |  24   |  42
+    4  | 15 | 20 |  27   |  40
+    5  | 23 | 33 |  43   |  66
+
+with M = 33, scaling factor (d-r)/M = 2 (case (ii)). This bench asserts the
+reproduction is *exact* and times the Mapper + adjustment pipeline.
+"""
+
+import pytest
+
+from benchmarks.conftest import once
+from repro.experiments.paper_example import (
+    PAPER_DEADLINE,
+    PAPER_TABLE1,
+    paper_example_adjusted,
+    table1_rows,
+)
+from repro.experiments.reporting import format_table
+
+
+def test_table1_exact(benchmark, emit):
+    rows = once(benchmark, table1_rows)
+    got = {t: (r0, d0, r1, d1) for (t, r0, d0, r1, d1) in rows}
+    assert got == PAPER_TABLE1, "Table 1 reproduction diverged from the paper"
+
+    tm, adj = paper_example_adjusted()
+    table = format_table(
+        [
+            {"ti": t, "ri": r0, "di": d0, "r(ti)": r1, "d(ti)": d1}
+            for (t, r0, d0, r1, d1) in sorted(rows)
+        ],
+        title="Table 1 - adjusted r(ti) and d(ti)  [paper: identical]",
+    )
+    extra = (
+        f"M = {tm.makespan:g} (paper: 33)   "
+        f"M* = {adj.mstar:g} (paper: 19)   "
+        f"case = {adj.case} (paper: case ii)   "
+        f"factor = {PAPER_DEADLINE / tm.makespan:g} (paper: 2)"
+    )
+    emit("table1", table + "\n" + extra)
+
+
+def test_table1_case_ii_invariants(benchmark):
+    def build():
+        tm, adj = paper_example_adjusted()
+        return tm, adj
+
+    tm, adj = benchmark(build)
+    assert adj.case == "stretch"
+    for t in tm.dag:
+        assert tm.deadline[t] == pytest.approx(2.0 * tm.finish[t])

@@ -1,0 +1,37 @@
+"""Shared benchmark plumbing.
+
+Every bench *prints* the table/figure it regenerates and also persists it
+under ``benchmarks/results/`` so the output survives pytest's capture
+(`pytest benchmarks/ --benchmark-only -s` shows it live). EXPERIMENTS.md
+records the paper-vs-measured comparison for each artifact.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def emit(results_dir):
+    """emit(artifact_id, text): print + persist one artifact's output."""
+
+    def _emit(artifact: str, text: str) -> None:
+        print(f"\n===== {artifact} =====\n{text}\n")
+        (results_dir / f"{artifact}.txt").write_text(text + "\n")
+
+    return _emit
+
+
+def once(benchmark, fn, *args, **kwargs):
+    """Run a heavy scenario exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1, warmup_rounds=0)

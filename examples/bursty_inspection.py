@@ -1,0 +1,119 @@
+#!/usr/bin/env python
+"""Bursty arrivals: when admission control earns its keep.
+
+A smooth Poisson stream at ρ=0.6 leaves slack everywhere; real sporadic
+workloads arrive in showers (alarm storms, frame batches). This example
+builds a custom workload with the on/off modulated arrival process and
+pushes it through RTDS and local-only on the same network, showing that the
+sphere's value concentrates exactly inside the bursts.
+
+It also demonstrates the lower-level driving API: building a Workload by
+hand and submitting it to a hand-constructed network (instead of the
+one-call `run_experiment`).
+
+Run:  python examples/bursty_inspection.py
+"""
+
+import numpy as np
+
+from repro.baselines.local_only import LocalOnlySite
+from repro.core.config import RTDSConfig
+from repro.core.rtds import RTDSSite
+from repro.experiments.reporting import format_kv, format_table
+from repro.graphs.workflows import mapreduce_dag
+from repro.metrics.collector import MetricsCollector
+from repro.simnet.engine import Simulator
+from repro.simnet.topology import build_network, erdos_renyi
+from repro.workloads.arrivals import bursty_arrivals
+from repro.workloads.deadlines import assign_deadline
+
+N_SITES = 12
+PERIOD, DUTY = 40.0, 0.25
+DURATION = 400.0
+
+
+def make_workload(seed: int):
+    """Bursty job stream: showers of small map-reduce jobs on site 0."""
+    rng = np.random.default_rng(seed)
+    times = bursty_arrivals(
+        rng, rate_on=0.6, rate_off=0.05, period=PERIOD, duty=DUTY,
+        start=0.0, end=DURATION,
+    )
+    jobs = []
+    for jid, t in enumerate(times):
+        dag = mapreduce_dag(int(rng.integers(3, 7)), 2, rng, c_range=(1.0, 5.0))
+        deadline = assign_deadline(dag, float(t), 3.0, rng, jitter=0.2)
+        jobs.append((jid, float(t), dag, deadline))
+    return jobs
+
+
+def drive(site_factory, seed: int):
+    sim = Simulator()
+    metrics = MetricsCollector()
+    topo = erdos_renyi(N_SITES, 0.3, np.random.default_rng(7), delay_range=(0.2, 0.8))
+    net = build_network(topo, sim, lambda sid, n: site_factory(sid, n, metrics))
+    for sid in net.site_ids():
+        net.site(sid).start()
+    sim.run()
+    shift = sim.now
+    for jid, t, dag, deadline in make_workload(seed):
+        site = net.site(0)  # the bursty source
+        sim.schedule_at(shift + t, lambda s=site, j=jid, d=dag, dl=deadline: s.submit_job(j, d, shift + dl))
+    sim.run(until=shift + DURATION + 300.0)
+    return metrics
+
+
+def main() -> None:
+    cfg = RTDSConfig(h=2)
+    rtds = drive(lambda sid, n, m: RTDSSite(sid, n, cfg, metrics=m), seed=11)
+    local = drive(lambda sid, n, m: LocalOnlySite(sid, n, metrics=m), seed=11)
+
+    rows = []
+    for name, m in (("rtds", rtds), ("local", local)):
+        rows.append(
+            {
+                "algorithm": name,
+                "jobs": m.n_arrived(),
+                "GR": round(m.guarantee_ratio(), 4),
+                "effGR": round(m.effective_ratio(), 4),
+            }
+        )
+    print(format_table(rows, title="Bursty showers on one site (identical workloads)"))
+
+    # Per-burst breakdown: acceptance inside vs outside the on-windows.
+    # (Arrivals were shifted by the setup time, so split by relative phase.)
+    def burst_split_shifted(m):
+        recs = m.records()
+        if not recs:
+            return float("nan"), float("nan")
+        t0 = min(r.arrival for r in recs)
+        inside, outside = [], []
+        for r in recs:
+            phase = (r.arrival - t0) % PERIOD
+            (inside if phase < DUTY * PERIOD else outside).append(r)
+        gr = lambda rs: (sum(1 for r in rs if r.outcome.accepted) / len(rs)) if rs else float("nan")
+        return gr(inside), gr(outside)
+
+    r_in, r_out = burst_split_shifted(rtds)
+    l_in, l_out = burst_split_shifted(local)
+    print()
+    print(
+        format_kv(
+            "guarantee ratio inside vs outside bursts",
+            {
+                "rtds inside bursts": f"{r_in:.3f}",
+                "rtds between bursts": f"{r_out:.3f}",
+                "local inside bursts": f"{l_in:.3f}",
+                "local between bursts": f"{l_out:.3f}",
+            },
+        )
+    )
+    print()
+    print(
+        "the sphere's value concentrates in the showers: between bursts both\n"
+        "schemes cope, inside them only cooperation keeps acceptance up."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,33 @@
+"""Baseline schedulers RTDS is compared against (experiments E1/E2).
+
+* :mod:`repro.baselines.local_only` — accept iff the §5 local test passes
+  on the arrival site (no cooperation); the floor every distributed scheme
+  must beat.
+* :mod:`repro.baselines.centralized` — an idealised centralized controller:
+  one coordinator with an exact global view assigns tasks with real
+  insertion; jobs and code still pay communication delays to/from the
+  coordinator. Upper bound on knowledge, lower bound on wide-network
+  latency tolerance — the "previous work" configuration the paper argues
+  against.
+* :mod:`repro.baselines.focused` — focused addressing + bidding in the
+  style of the paper's refs [4]/[12] (Cheng/Stankovic/Ramamritham): sites
+  periodically *flood* their surplus network-wide; a locally rejected DAG is
+  offloaded whole to the best-known site after a request-for-bids round.
+* :mod:`repro.baselines.random_offload` — forward a rejected DAG to random
+  known sites with bounded retries (sanity baseline).
+"""
+
+from repro.baselines.base import BaselineSite
+from repro.baselines.local_only import LocalOnlySite
+from repro.baselines.centralized import CentralizedCoordinator, CentralizedSite
+from repro.baselines.focused import FocusedSite
+from repro.baselines.random_offload import RandomOffloadSite
+
+__all__ = [
+    "BaselineSite",
+    "LocalOnlySite",
+    "CentralizedCoordinator",
+    "CentralizedSite",
+    "FocusedSite",
+    "RandomOffloadSite",
+]

@@ -1,0 +1,170 @@
+"""Command-line interface.
+
+::
+
+    rtds example              # the paper's worked example (Figs 2-4, Table 1)
+    rtds run --algorithm rtds --rho 0.6 --sites 16
+    rtds sweep-load --algorithms rtds,local --rhos 0.3,0.6,0.9
+    rtds sweep-size --algorithms rtds,focused --sizes 16,36,64
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from dataclasses import replace
+from typing import List
+
+from repro.core.config import RTDSConfig
+from repro.experiments.evaluation import (
+    sweep_ablations,
+    sweep_load,
+    sweep_network_size,
+    sweep_sphere_radius,
+)
+from repro.experiments.paper_example import (
+    PAPER_DEADLINE,
+    fig3_schedule,
+    fig4_schedule,
+    paper_example_adjusted,
+    table1_rows,
+)
+from repro.experiments.reporting import format_kv, format_table
+from repro.experiments.runner import ExperimentConfig, run_experiment
+from repro.graphs.generators import paper_example_dag
+from repro.viz.dagviz import render_dag
+from repro.viz.gantt import render_gantt, schedule_to_items
+
+
+def _cmd_example(_args: argparse.Namespace) -> int:
+    print(render_dag(paper_example_dag()))
+    print()
+    print(render_gantt(schedule_to_items(fig3_schedule()), title="Figure 3 - schedule S (surplus-scaled)"))
+    print()
+    print(render_gantt(schedule_to_items(fig4_schedule()), title="Figure 4 - schedule S* (100% surplus)"))
+    print()
+    tm, adj = paper_example_adjusted()
+    rows = [
+        {"ti": t, "ri": r0, "di": d0, "r(ti)": r1, "d(ti)": d1}
+        for t, r0, d0, r1, d1 in table1_rows()
+    ]
+    print(format_table(rows, title="Table 1 - adjusted r(ti) and d(ti)"))
+    print()
+    print(
+        format_kv(
+            "derived",
+            {
+                "M": tm.makespan,
+                "M*": adj.mstar,
+                "case": adj.case,
+                "scaling (d-r)/M": (PAPER_DEADLINE - 0.0) / tm.makespan,
+            },
+        )
+    )
+    return 0
+
+
+def _base_config(args: argparse.Namespace) -> ExperimentConfig:
+    return ExperimentConfig(
+        topology="erdos_renyi",
+        topology_kwargs={"n": args.sites, "p": min(1.0, 4.0 / max(1, args.sites - 1))},
+        rho=args.rho,
+        duration=args.duration,
+        laxity_factor=args.laxity,
+        seed=args.seed,
+        rtds=RTDSConfig(h=args.h),
+    )
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    cfg = replace(_base_config(args), algorithm=args.algorithm)
+    res = run_experiment(cfg)
+    print(format_table([res.summary.row()], title=f"run: {args.algorithm}"))
+    if res.summary.rejected_by:
+        print(format_kv("rejections", res.summary.rejected_by))
+    return 0
+
+
+def _cmd_sweep_load(args: argparse.Namespace) -> int:
+    cfg = _base_config(args)
+    algos = args.algorithms.split(",")
+    rhos = [float(x) for x in args.rhos.split(",")]
+    rows = sweep_load(cfg, algos, rhos, seeds=tuple(range(args.runs)))
+    print(format_table(rows, title="E1: guarantee ratio vs offered load"))
+    return 0
+
+
+def _cmd_sweep_size(args: argparse.Namespace) -> int:
+    cfg = _base_config(args)
+    algos = args.algorithms.split(",")
+    sizes = [int(x) for x in args.sizes.split(",")]
+    rows = sweep_network_size(cfg, algos, sizes)
+    print(format_table(rows, title="E2: messages per job vs network size"))
+    return 0
+
+
+def _cmd_sweep_radius(args: argparse.Namespace) -> int:
+    cfg = _base_config(args)
+    hs = [int(x) for x in args.radii.split(",")]
+    rows = sweep_sphere_radius(cfg, hs)
+    print(format_table(rows, title="E3: sphere radius sweep"))
+    return 0
+
+
+def _cmd_ablations(args: argparse.Namespace) -> int:
+    cfg = _base_config(args)
+    rows = sweep_ablations(cfg)
+    print(format_table(rows, title="E5: §13 generalization ablations"))
+    return 0
+
+
+def main(argv: List[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(prog="rtds", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("example", help="reproduce the paper's worked example")
+
+    def common(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--sites", type=int, default=16)
+        p.add_argument("--rho", type=float, default=0.6)
+        p.add_argument("--duration", type=float, default=400.0)
+        p.add_argument("--laxity", type=float, default=3.0)
+        p.add_argument("--seed", type=int, default=0)
+        p.add_argument("--h", type=int, default=2)
+
+    p_run = sub.add_parser("run", help="one experiment")
+    common(p_run)
+    p_run.add_argument("--algorithm", default="rtds")
+
+    p_sl = sub.add_parser("sweep-load", help="E1 load sweep")
+    common(p_sl)
+    p_sl.add_argument("--algorithms", default="rtds,local")
+    p_sl.add_argument("--rhos", default="0.3,0.6,0.9")
+    p_sl.add_argument("--runs", type=int, default=1)
+
+    p_ss = sub.add_parser("sweep-size", help="E2 network size sweep")
+    common(p_ss)
+    p_ss.add_argument("--algorithms", default="rtds,focused")
+    p_ss.add_argument("--sizes", default="16,36,64")
+
+    p_sr = sub.add_parser("sweep-radius", help="E3 sphere radius sweep")
+    common(p_sr)
+    p_sr.add_argument("--radii", default="1,2,3")
+
+    p_ab = sub.add_parser("sweep-ablations", help="E5 §13 generalization ablations")
+    common(p_ab)
+
+    args = parser.parse_args(argv)
+    commands = {
+        "example": _cmd_example,
+        "run": _cmd_run,
+        "sweep-load": _cmd_sweep_load,
+        "sweep-size": _cmd_sweep_size,
+        "sweep-radius": _cmd_sweep_radius,
+        "sweep-ablations": _cmd_ablations,
+    }
+    return commands[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

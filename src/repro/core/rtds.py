@@ -1,0 +1,705 @@
+"""The RTDS site: the full distributed protocol (paper §4–§11).
+
+One :class:`RTDSSite` per network node. Each site runs, independently:
+
+* at system start, the phased Bellman–Ford, then derives its PCS (§7);
+* on job arrival, the **local test** (§5); if it fails, the site becomes
+  *initiator*: it enrolls its PCS into an ACS (§8), runs the Mapper (§9/§12)
+  and the adjustment (§12.2), broadcasts the Trial-Mapping for validation
+  (§10), computes the coupling, and dispatches the permutation + task code
+  (§11);
+* as a *member*, it answers enrollments with its surplus, validates task
+  sets against its own plan, and commits/unlocks on EXECUTE/UNLOCK;
+* as a *host*, its compute processor executes committed reservations and
+  forwards task results to the sites hosting successor tasks.
+
+Locking discipline (DESIGN.md "Lock semantics"): while a site's lock is
+held, everything that would mutate its plan — its own job arrivals, foreign
+enrollments in ``queue`` mode — is deferred and replayed FIFO at unlock;
+in ``refuse`` mode foreign enrollments get an explicit busy-refusal instead.
+RESULT messages only open executor gates and pass through locks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from repro.core.adjustment import adjust_trial_mapping
+from repro.core.config import RTDSConfig
+from repro.core.events import JobOutcome, JobRecord
+from repro.core.local_test import local_guarantee_test
+from repro.core.mapper import build_trial_mapping
+from repro.core.messages import (
+    MSG_ENROLL,
+    MSG_ENROLL_ACK,
+    MSG_ENROLL_REFUSE,
+    MSG_EXECUTE,
+    MSG_RESULT,
+    MSG_SPHERE,
+    MSG_UNLOCK,
+    MSG_VALIDATE,
+    MSG_VALIDATE_ACK,
+)
+from repro.core.trial_mapping import LogicalProcSpec
+from repro.core.validation import compute_permutation, endorse_mapping
+from repro.errors import ProtocolError
+from repro.graphs.analysis import critical_path_length
+from repro.graphs.dag import Dag
+from repro.graphs.serialization import estimate_code_size
+from repro.routing.bellman_ford import PhasedBellmanFord
+from repro.sched.executor import PlanExecutor
+from repro.sched.plan import SchedulingPlan
+from repro.simnet.message import Message
+from repro.simnet.network import Network
+from repro.simnet.site import SiteBase
+from repro.spheres.acs import AcsSession, EnrolledSite, SiteLock
+from repro.spheres.diameter import sphere_diameter, sphere_radius
+from repro.spheres.pcs import PCS, build_pcs, handle_sphere_message, sphere_broadcast
+from repro.types import JobId, LogicalProc, SiteId, TaskId, Time
+
+
+@dataclass
+class _JobCtx:
+    """A job waiting for / undergoing the protocol on its arrival site."""
+
+    job: JobId
+    dag: Dag
+    deadline: Time
+    arrival: Time
+    was_deferred: bool = False
+
+
+class RTDSSite(SiteBase):
+    """A network site running the RTDS protocol."""
+
+    def __init__(
+        self,
+        sid: SiteId,
+        network: Network,
+        config: RTDSConfig,
+        speed: float = 1.0,
+        metrics=None,
+        mgmt_overhead: Time = 0.0,
+    ) -> None:
+        super().__init__(sid, network, mgmt_overhead)
+        self.config = config
+        self.speed = speed
+        self.metrics = metrics
+        self.plan = SchedulingPlan(sid, config.surplus_window)
+        self.executor = PlanExecutor(network.sim, self.plan)
+        self.executor.on_complete.append(self._on_task_complete)
+        if metrics is not None and hasattr(metrics, "on_task_complete"):
+            self.executor.on_complete.append(metrics.on_task_complete)
+
+        self.routing = PhasedBellmanFord(self, config.pcs_phases, on_done=self._routing_done)
+        self.pcs: Optional[PCS] = None
+        self.lock = SiteLock(sid)
+        #: initiator-side session (one at a time; the lock enforces it)
+        self.session: Optional[AcsSession] = None
+        #: member-side cached validation slots: job -> {proc: [Reservation]}
+        self._validate_cache: Dict[JobId, Dict[LogicalProc, list]] = {}
+        #: job -> (host, succs, volumes) for RESULT forwarding
+        self._exec_info: Dict[JobId, Tuple[Dict, Dict, Dict]] = {}
+        #: jobs submitted before routing finished
+        self._pre_routing: List[_JobCtx] = []
+        self._enroll_timer = None
+
+        self.on(MSG_SPHERE, self._h_sphere)
+        self.on(MSG_ENROLL, self._h_enroll)
+        self.on(MSG_ENROLL_ACK, self._h_enroll_ack)
+        self.on(MSG_ENROLL_REFUSE, self._h_enroll_refuse)
+        self.on(MSG_VALIDATE, self._h_validate)
+        self.on(MSG_VALIDATE_ACK, self._h_validate_ack)
+        self.on(MSG_EXECUTE, self._h_execute)
+        self.on(MSG_UNLOCK, self._h_unlock)
+        self.on(MSG_RESULT, self._h_result)
+
+    # ------------------------------------------------------------------
+    # initialization
+    # ------------------------------------------------------------------
+
+    def start(self) -> None:
+        """Begin PCS construction (call on every site at t=0)."""
+        self.routing.start()
+
+    def _routing_done(self) -> None:
+        self.pcs = build_pcs(self.routing.table, self.config.h)
+        self.trace("pcs.built", h=self.config.h, members=len(self.pcs))
+        pending, self._pre_routing = self._pre_routing, []
+        for ctx in pending:
+            ctx.was_deferred = True
+            self._consider(ctx)
+
+    # ------------------------------------------------------------------
+    # job arrival (driver entry point)
+    # ------------------------------------------------------------------
+
+    def submit_job(self, job: JobId, dag: Dag, deadline: Time) -> None:
+        """A sporadic job arrives on this site (absolute ``deadline``)."""
+        ctx = _JobCtx(job=job, dag=dag, deadline=deadline, arrival=self.now)
+        if self.metrics is not None:
+            self.metrics.register_job(
+                JobRecord(
+                    job=job,
+                    origin=self.sid,
+                    arrival=self.now,
+                    deadline=deadline,
+                    n_tasks=len(dag),
+                    total_work=dag.total_complexity(),
+                )
+            )
+        self.trace("job.arrival", job=job, tasks=len(dag), deadline=deadline)
+        if self.pcs is None and not self.routing.done:
+            self._pre_routing.append(ctx)
+            return
+        if self.lock.locked:
+            ctx.was_deferred = True
+            self.lock.defer(lambda: self._consider(ctx))
+            return
+        self._consider(ctx)
+
+    def _consider(self, ctx: _JobCtx) -> None:
+        """Local test, then (if needed) start the distributed protocol."""
+        if self.lock.locked:
+            self.lock.defer(lambda: self._consider(ctx))
+            return
+        # A deferred job may have become hopeless while waiting: even an
+        # ideal schedule needs the critical path length.
+        if ctx.was_deferred:
+            cp = critical_path_length(ctx.dag) / self.speed
+            if self.now + cp > ctx.deadline + 1e-9:
+                self._decide(ctx, JobOutcome.REJECTED_TIMEOUT)
+                return
+        fit = local_guarantee_test(
+            self.plan.timeline,
+            ctx.dag,
+            ctx.job,
+            release=self.now,
+            deadline=ctx.deadline,
+            now=self.now,
+            preemptive=self.config.validation_preemptive,
+            speed=self.speed,
+        )
+        if fit is not None:
+            slots, gates = fit
+            self.plan.commit(slots)
+            self.executor.notify_committed(slots, gates)
+            self.trace("job.local_accept", job=ctx.job)
+            self._decide(ctx, JobOutcome.ACCEPTED_LOCAL, hosts=[self.sid])
+            return
+        self.trace("job.local_reject", job=ctx.job)
+        self._initiate(ctx)
+
+    # ------------------------------------------------------------------
+    # initiator: ACS construction (§8)
+    # ------------------------------------------------------------------
+
+    def _initiate(self, ctx: _JobCtx) -> None:
+        if self.pcs is None or len(self.pcs) == 0:
+            self._decide(ctx, JobOutcome.REJECTED_NO_SPHERE)
+            return
+        members = (
+            self.pcs.nearest(self.config.max_acs_size)
+            if self.config.max_acs_size is not None
+            else list(self.pcs.members)
+        )
+        if not members:
+            self._decide(ctx, JobOutcome.REJECTED_NO_SPHERE)
+            return
+        self.lock.acquire(self.sid, ctx.job)
+        session = AcsSession(ctx.job, self.sid, members)
+        session.started_at = self.now
+        session.ctx = ctx  # attach the job context
+        self.session = session
+        sphere_sites = sorted([*members, self.sid])
+        self.trace("acs.enroll", job=ctx.job, asked=len(members))
+        sphere_broadcast(
+            self,
+            members,
+            MSG_ENROLL,
+            {"job": ctx.job, "initiator": self.sid, "members": sphere_sites},
+            size=float(2 + len(sphere_sites)),
+        )
+        if self.config.enroll_mode == "queue":
+            frac = self.config.enroll_timeout or 0.25
+            budget = max(0.0, (ctx.deadline - self.now) * frac)
+            job = ctx.job
+            self._enroll_timer = self.sim.schedule(
+                budget, lambda: self._enroll_timeout(job)
+            )
+
+    def _h_enroll(self, msg: Message) -> None:
+        job = msg.payload["job"]
+        initiator = msg.payload["initiator"]
+        members = msg.payload["members"]
+        if self.lock.locked:
+            if self.config.enroll_mode == "refuse":
+                self.send_to(
+                    initiator,
+                    MSG_ENROLL_REFUSE,
+                    {"job": job, "site": self.sid},
+                    size=2.0,
+                )
+                self.trace("acs.refuse", job=job, initiator=initiator)
+            else:
+                self.lock.defer(lambda: self._h_enroll(msg))
+            return
+        self.lock.acquire(initiator, job)
+        surplus = self.plan.surplus(self.now)
+        distances = {
+            m: self.routing.table.entry(m).distance
+            for m in members
+            if m != self.sid and m in self.routing.table
+        }
+        self.trace("acs.enrolled", job=job, initiator=initiator, surplus=round(surplus, 4))
+        self.send_to(
+            initiator,
+            MSG_ENROLL_ACK,
+            {
+                "job": job,
+                "site": self.sid,
+                "surplus": surplus,
+                "busyness": self.plan.busyness(self.now),
+                "speed": self.speed,
+                "distances": distances,
+            },
+            size=float(5 + len(distances)),
+        )
+
+    def _h_enroll_ack(self, msg: Message) -> None:
+        job = msg.payload["job"]
+        s = self.session
+        if s is None or s.job != job or s.phase != AcsSession.ENROLLING:
+            # Stale ack (timeout already fired, or session gone): unlock it.
+            self.send_to(msg.payload["site"], MSG_UNLOCK, {"job": job}, size=1.0)
+            return
+        s.record_ack(
+            EnrolledSite(
+                site=msg.payload["site"],
+                surplus=msg.payload["surplus"],
+                busyness=msg.payload["busyness"],
+                speed=msg.payload["speed"],
+                distances=msg.payload["distances"],
+            )
+        )
+        if s.enrollment_complete():
+            self._start_mapping()
+
+    def _h_enroll_refuse(self, msg: Message) -> None:
+        job = msg.payload["job"]
+        s = self.session
+        if s is None or s.job != job or s.phase != AcsSession.ENROLLING:
+            return
+        s.record_refusal(msg.payload["site"])
+        if s.enrollment_complete():
+            self._start_mapping()
+
+    def _enroll_timeout(self, job: JobId) -> None:
+        s = self.session
+        if s is None or s.job != job or s.phase != AcsSession.ENROLLING:
+            return
+        self.trace("acs.timeout", job=job, enrolled=len(s.enrolled))
+        self._start_mapping()
+
+    # ------------------------------------------------------------------
+    # initiator: mapping + adjustment (§9, §12)
+    # ------------------------------------------------------------------
+
+    def _start_mapping(self) -> None:
+        s = self.session
+        assert s is not None
+        s.phase = AcsSession.MAPPING
+        if self._enroll_timer is not None:
+            self.sim.cancel(self._enroll_timer)
+            self._enroll_timer = None
+        if not s.enrolled:
+            # Nobody available: the job cannot be distributed.
+            self._finish_session(JobOutcome.REJECTED_NO_SPHERE, unlock_members=False)
+            return
+        if self.config.mapper_cost > 0:
+            self.sim.schedule(self.config.mapper_cost, self._run_mapper)
+        else:
+            self._run_mapper()
+
+    def _run_mapper(self) -> None:
+        s = self.session
+        assert s is not None and s.phase == AcsSession.MAPPING
+        ctx = s.ctx
+        members = s.acs_members()
+        initiator_dist = {m: self.pcs.distance[m] for m in members}
+        omega = sphere_diameter(
+            self.sid, initiator_dist, {m: s.enrolled[m].distances for m in members}
+        )
+        radius = sphere_radius(initiator_dist, members)
+        r_map = self.now + self.config.protocol_margin_factor * radius
+        # §13 data-volume model: with finite link throughput, every hop of a
+        # transfer costs size/throughput on top of propagation delay. The
+        # sphere's hop diameter is bounded by 2h, so budgeting 2h transfer
+        # quanta keeps ω an over-estimate (the paper's safety direction);
+        # likewise the release margin must absorb the VALIDATE round and the
+        # task-code dispatch, whose paths are at most h hops.
+        if self.config.volume_aware_omega:
+            tps = [
+                self.network.link(self.sid, nb).throughput
+                for nb in self.neighbors()
+            ]
+            tps = [t for t in tps if t is not None]
+            if tps:
+                tp = min(tps)
+                max_dv = max(
+                    (ctx.dag.task(t).data_volume for t in ctx.dag), default=0.0
+                )
+                omega += (2 * self.config.h) * max_dv / tp
+                validate_size = len(ctx.dag) + 2.0
+                r_map += (
+                    self.config.h
+                    * (estimate_code_size(ctx.dag) + validate_size)
+                    / tp
+                )
+        if r_map >= ctx.deadline:
+            self._finish_session(JobOutcome.REJECTED_TIMEOUT)
+            return
+
+        # Logical processors: ACS candidates by descending surplus. The
+        # initiator itself is always a candidate (it is in its own sphere).
+        cands: List[Tuple[float, float, float, SiteId]] = [
+            (self.plan.surplus(self.now), self.speed, self.plan.busyness(self.now), self.sid)
+        ]
+        for m in members:
+            e = s.enrolled[m]
+            cands.append((e.surplus, e.speed, e.busyness, m))
+        cands.sort(key=lambda x: (-x[0], x[3]))
+        specs = []
+        for i, (surplus, speed, busyness, site) in enumerate(cands):
+            timeline = None
+            if self.config.local_knowledge and site == self.sid:
+                timeline = self.plan.scratch_timeline()
+            specs.append(
+                LogicalProcSpec(
+                    index=i,
+                    surplus=max(surplus, 1e-3),  # a fully busy site still enrolls
+                    speed=speed,
+                    busyness=busyness,
+                    timeline=timeline,
+                )
+            )
+        tm = build_trial_mapping(ctx.job, ctx.dag, specs, omega, r_map)
+        adj = adjust_trial_mapping(tm, ctx.deadline, self.config.laxity_mode)
+        s.trial_mapping = tm
+        s.adjustment = adj
+        self.trace(
+            "map.done",
+            job=ctx.job,
+            case=adj.case,
+            omega=round(omega, 3),
+            m=round(tm.makespan, 3),
+            mstar=round(adj.mstar, 3),
+            procs=len(tm.used_procs()),
+        )
+        if not adj.accepted:
+            self._finish_session(JobOutcome.REJECTED_MAPPER)
+            return
+        self._start_validation()
+
+    # ------------------------------------------------------------------
+    # validation (§10)
+    # ------------------------------------------------------------------
+
+    def _validate_payload(self) -> Dict[int, List[Tuple[TaskId, float, Time, Time]]]:
+        s = self.session
+        tm = s.trial_mapping
+        procs: Dict[int, List[Tuple[TaskId, float, Time, Time]]] = {}
+        for p in tm.used_procs():
+            procs[p] = [
+                (t, tm.dag.complexity(t), tm.release[t], tm.deadline[t])
+                for t in tm.tasks_on(p)
+            ]
+        return procs
+
+    def _start_validation(self) -> None:
+        s = self.session
+        assert s is not None
+        s.phase = AcsSession.VALIDATING
+        procs = self._validate_payload()
+        members = s.acs_members()
+        size = float(sum(len(v) for v in procs.values()) + 2)
+        sphere_broadcast(
+            self,
+            members,
+            MSG_VALIDATE,
+            {"job": s.job, "initiator": self.sid, "procs": procs},
+            size=size,
+        )
+        # The initiator endorses locally with the same test.
+        endorsed, slots = endorse_mapping(
+            self.plan.timeline,
+            s.job,
+            procs,
+            self.now,
+            preemptive=self.config.validation_preemptive,
+            speed=self.speed,
+            order=self.config.validation_order,
+        )
+        s.own_slots = slots
+        s.record_endorsement(self.sid, endorsed)
+        self.trace("validate.self", job=s.job, endorsed=endorsed)
+        if s.validation_complete():
+            self._decide_permutation()
+
+    def _h_validate(self, msg: Message) -> None:
+        job = msg.payload["job"]
+        initiator = msg.payload["initiator"]
+        if not self.lock.held_by(initiator, job):
+            raise ProtocolError(
+                f"site {self.sid}: VALIDATE for ({initiator}, {job}) "
+                f"but lock is {self.lock.owner}"
+            )
+        procs = msg.payload["procs"]
+        endorsed, slots = endorse_mapping(
+            self.plan.timeline,
+            job,
+            procs,
+            self.now,
+            preemptive=self.config.validation_preemptive,
+            speed=self.speed,
+            order=self.config.validation_order,
+        )
+        self._validate_cache[job] = slots
+        self.trace("validate.member", job=job, endorsed=endorsed)
+        self.send_to(
+            initiator,
+            MSG_VALIDATE_ACK,
+            {"job": job, "site": self.sid, "endorsed": endorsed},
+            size=float(2 + len(endorsed)),
+        )
+
+    def _h_validate_ack(self, msg: Message) -> None:
+        job = msg.payload["job"]
+        s = self.session
+        if s is None or s.job != job or s.phase != AcsSession.VALIDATING:
+            raise ProtocolError(f"site {self.sid}: unexpected VALIDATE_ACK for job {job}")
+        s.record_endorsement(msg.payload["site"], msg.payload["endorsed"])
+        if s.validation_complete():
+            self._decide_permutation()
+
+    def _decide_permutation(self) -> None:
+        s = self.session
+        assert s is not None
+        tm = s.trial_mapping
+        perm = compute_permutation(tm.used_procs(), s.endorsements)
+        if perm is None:
+            self.trace("validate.fail", job=s.job)
+            self._finish_session(JobOutcome.REJECTED_VALIDATION)
+            return
+        self.trace("validate.ok", job=s.job, permutation={p: site for p, site in perm.items()})
+        self._dispatch_execution(perm)
+
+    # ------------------------------------------------------------------
+    # distributed execution (§11)
+    # ------------------------------------------------------------------
+
+    def _dispatch_execution(self, perm: Dict[LogicalProc, SiteId]) -> None:
+        s = self.session
+        tm = s.trial_mapping
+        ctx = s.ctx
+        host = {t: perm[tm.assignment[t]] for t in tm.dag}
+        preds = {t: list(tm.dag.predecessors(t)) for t in tm.dag}
+        succs = {t: list(tm.dag.successors(t)) for t in tm.dag}
+        volumes = {t: tm.dag.task(t).data_volume for t in tm.dag}
+        payload = {
+            "job": s.job,
+            "permutation": perm,
+            "host": host,
+            "preds": preds,
+            "succs": succs,
+            "volumes": volumes,
+            "deadline": ctx.deadline,
+        }
+        members = s.acs_members()
+        sphere_broadcast(
+            self, members, MSG_EXECUTE, payload, size=estimate_code_size(tm.dag)
+        )
+        # The initiator's own share.
+        my_procs = [p for p, site in perm.items() if site == self.sid]
+        if my_procs:
+            self._commit_assignment(s.job, my_procs[0], s.own_slots, host, preds, volumes)
+        hosts = sorted(set(perm.values()))
+        self._decide(ctx, JobOutcome.ACCEPTED_DISTRIBUTED, hosts=hosts, acs_size=len(members) + 1)
+        s.phase = AcsSession.FINISHED
+        self.session = None
+        self._release_own_lock(s.job)
+
+    def _h_execute(self, msg: Message) -> None:
+        job = msg.payload["job"]
+        perm: Dict[LogicalProc, SiteId] = msg.payload["permutation"]
+        initiator = msg.origin
+        if not self.lock.held_by(initiator, job):
+            raise ProtocolError(
+                f"site {self.sid}: EXECUTE for ({initiator}, {job}) "
+                f"but lock is {self.lock.owner}"
+            )
+        slots_by_proc = self._validate_cache.pop(job, {})
+        my_procs = [p for p, site in perm.items() if site == self.sid]
+        if my_procs:
+            self._commit_assignment(
+                job,
+                my_procs[0],
+                slots_by_proc,
+                msg.payload["host"],
+                msg.payload["preds"],
+                msg.payload["volumes"],
+            )
+        else:
+            self.trace("execute.bystander", job=job)
+        self.lock.release(initiator, job)
+        self._drain_deferred()
+
+    def _commit_assignment(
+        self,
+        job: JobId,
+        proc: LogicalProc,
+        slots_by_proc: Dict[LogicalProc, list],
+        host: Dict[TaskId, SiteId],
+        preds: Dict[TaskId, List[TaskId]],
+        volumes: Dict[TaskId, float],
+    ) -> None:
+        slots = slots_by_proc.get(proc)
+        if slots is None:
+            raise ProtocolError(
+                f"site {self.sid}: assigned logical proc {proc} for job {job} "
+                "but no cached validation slots (endorsement mismatch)"
+            )
+        gates: Dict[Tuple[JobId, TaskId], Set[Tuple[str, JobId, TaskId]]] = {}
+        my_tasks = {r.task for r in slots}
+        for t in my_tasks:
+            deps = set()
+            for p in preds[t]:
+                if host[p] == self.sid:
+                    deps.add(("done", job, p))
+                elif self.config.result_forwarding:
+                    deps.add(("result", job, p))
+            if deps:
+                gates[(job, t)] = deps
+        self.plan.commit(slots)
+        self.executor.notify_committed(slots, gates)
+        # Remember topology of the job for result forwarding.
+        succs = {t: [] for t in host}
+        for t, ps in preds.items():
+            for p in ps:
+                succs[p].append(t)
+        self._exec_info[job] = (host, succs, volumes)
+        self.trace("execute.commit", job=job, proc=proc, tasks=sorted(my_tasks, key=repr))
+
+    def _h_unlock(self, msg: Message) -> None:
+        job = msg.payload["job"]
+        initiator = msg.origin
+        if self.lock.held_by(initiator, job):
+            self._validate_cache.pop(job, None)
+            self.lock.release(initiator, job)
+            self.trace("lock.released", job=job, by=initiator)
+            self._drain_deferred()
+        else:
+            # Stale unlock (queue-mode race); harmless.
+            self.trace("lock.stale_unlock", job=job, by=initiator)
+
+    def _h_result(self, msg: Message) -> None:
+        job = msg.payload["job"]
+        task = msg.payload["task"]
+        self.executor.deliver_token(("result", job, task))
+
+    # ------------------------------------------------------------------
+    # execution-time callbacks
+    # ------------------------------------------------------------------
+
+    def _on_task_complete(self, job: JobId, task: TaskId, time: Time) -> None:
+        info = self._exec_info.get(job)
+        if info is None or not self.config.result_forwarding:
+            return
+        host, succs, volumes = info
+        notified: Set[SiteId] = set()
+        for succ in succs.get(task, ()):
+            dest = host[succ]
+            if dest != self.sid and dest not in notified:
+                notified.add(dest)
+                self.send_to(
+                    dest,
+                    MSG_RESULT,
+                    {"job": job, "task": task},
+                    size=max(1.0, volumes.get(task, 0.0)),
+                )
+
+    # ------------------------------------------------------------------
+    # session teardown & lock plumbing
+    # ------------------------------------------------------------------
+
+    def _finish_session(self, outcome: JobOutcome, unlock_members: bool = True) -> None:
+        s = self.session
+        assert s is not None
+        ctx = s.ctx
+        members = s.acs_members()
+        if unlock_members and members:
+            sphere_broadcast(self, members, MSG_UNLOCK, {"job": s.job}, size=1.0)
+        s.phase = AcsSession.FINISHED
+        self.session = None
+        self._decide(ctx, outcome, acs_size=len(members) + 1 if members else None)
+        self._release_own_lock(s.job)
+
+    def _release_own_lock(self, job: JobId) -> None:
+        self.lock.release(self.sid, job)
+        self._drain_deferred()
+
+    def _drain_deferred(self) -> None:
+        while not self.lock.locked and self.lock.deferred:
+            thunk = self.lock.deferred.popleft()
+            thunk()
+
+    def _decide(
+        self,
+        ctx: _JobCtx,
+        outcome: JobOutcome,
+        hosts: Optional[List[SiteId]] = None,
+        acs_size: Optional[int] = None,
+    ) -> None:
+        self.trace("job.decision", job=ctx.job, outcome=outcome.value)
+        if self.metrics is not None:
+            self.metrics.decide(ctx.job, outcome, self.now, hosts=hosts, acs_size=acs_size)
+
+    # ------------------------------------------------------------------
+    # maintenance
+    # ------------------------------------------------------------------
+
+    def prune_history(self, before: Time) -> int:
+        """Forget finished work older than ``before`` (long-run hygiene).
+
+        Safe by construction: admission only ever inserts at/after "now",
+        and the surplus window looks forward, so dropping reservations that
+        *ended* before ``before`` cannot change any future decision.
+        Returns the number of plan reservations dropped.
+        """
+        n = self.plan.prune_before(before)
+        self.executor.prune_done_before(before)
+        # result-forwarding info for jobs whose local tasks are all gone
+        live_jobs = {key[0] for key in self.executor.records()}
+        for job in list(self._exec_info):
+            if job not in live_jobs:
+                del self._exec_info[job]
+        return n
+
+    # ------------------------------------------------------------------
+    # sphere envelope
+    # ------------------------------------------------------------------
+
+    def _h_sphere(self, msg: Message) -> None:
+        inner = handle_sphere_message(self, msg)
+        if inner is None:
+            return
+        unwrapped = Message(
+            mtype=inner["mtype"],
+            src=msg.src,
+            dst=self.sid,
+            origin=inner["origin"],
+            payload=inner["payload"],
+            size=msg.size,
+        )
+        self._dispatch(unwrapped)

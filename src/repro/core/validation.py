@@ -1,0 +1,80 @@
+"""Trial-Mapping validation (paper §10).
+
+Site side — :func:`endorse_mapping`: "upon reception of M, a site j tries
+to validate all tasks assigned to a logical site i for each i ∈ U. [...] A
+set of tasks Ti is locally satisfiable iff each task t of Ti may be
+executed with respect to its release r(t) and deadline d(t)." The site
+answers with the list of endorsable logical processors and caches the
+concrete slots so an eventual EXECUTE commits exactly what was tested.
+
+Initiator side — :func:`compute_permutation`: "it computes a maximum
+coupling [...]. If the cardinality of the maximum coupling is less than |U|
+then no combination satisfies all Ti and the DAG is rejected"; otherwise the
+perfect matching *is* the site ↔ logical-processor permutation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.sched.feasibility import WindowTask, try_schedule_window_tasks
+from repro.sched.intervals import BusyTimeline, Reservation
+from repro.sched.matching import perfect_left_matching
+from repro.sched.preemptive import preemptive_chunks
+from repro.types import JobId, LogicalProc, SiteId, TaskId, Time
+
+#: VALIDATE payload entry: (task, complexity, release, deadline)
+ProcTasks = Dict[LogicalProc, List[Tuple[TaskId, float, Time, Time]]]
+
+
+def endorse_mapping(
+    timeline: BusyTimeline,
+    job: JobId,
+    procs: ProcTasks,
+    now: Time,
+    preemptive: bool = False,
+    speed: float = 1.0,
+    order: str = "edf",
+) -> Tuple[List[LogicalProc], Dict[LogicalProc, List[Reservation]]]:
+    """Which logical processors can this site endorse?
+
+    Each processor's task set is tested *independently* against the current
+    plan (a site is matched to at most one logical processor, so the tests
+    must not see each other's slots). Durations are ``complexity / speed``
+    — a heterogeneous (§13 uniform machines) site answers for itself.
+
+    Returns the endorsed indices and the concrete slots per index.
+    """
+    endorsed: List[LogicalProc] = []
+    slots: Dict[LogicalProc, List[Reservation]] = {}
+    for proc in sorted(procs):
+        tasks = [
+            WindowTask(job, tid, c / speed, r, d) for (tid, c, r, d) in procs[proc]
+        ]
+        if any(t.release + t.duration > t.deadline + 1e-9 for t in tasks):
+            continue  # window too small even on an empty machine
+        if preemptive:
+            fit = preemptive_chunks(timeline, tasks, not_before=now)
+        else:
+            fit = try_schedule_window_tasks(timeline, tasks, not_before=now, order=order)
+        if fit is not None:
+            endorsed.append(proc)
+            slots[proc] = fit
+    return endorsed, slots
+
+
+def compute_permutation(
+    used_procs: Sequence[LogicalProc],
+    endorsements: Dict[SiteId, List[LogicalProc]],
+) -> Optional[Dict[LogicalProc, SiteId]]:
+    """The §10 coupling: a perfect matching proc → site, or ``None``.
+
+    ``endorsements[site]`` lists the logical processors the site can endorse;
+    every processor in ``used_procs`` must be covered for acceptance.
+    """
+    adjacency: Dict[LogicalProc, List[SiteId]] = {p: [] for p in used_procs}
+    for site in sorted(endorsements):
+        for p in endorsements[site]:
+            if p in adjacency:
+                adjacency[p].append(site)
+    return perfect_left_matching(adjacency)

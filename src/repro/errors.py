@@ -1,0 +1,61 @@
+"""Exception hierarchy for the RTDS reproduction.
+
+All library errors derive from :class:`ReproError` so callers can catch a
+single base type. Subsystems raise the most specific subclass available;
+messages always identify the offending entity (task id, site id, ...) to keep
+large-simulation failures diagnosable.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class DagError(ReproError):
+    """Malformed DAG: cycles, unknown task references, negative weights."""
+
+
+class CycleError(DagError):
+    """The precedence relation contains a cycle (so it is not a DAG)."""
+
+
+class TopologyError(ReproError):
+    """Invalid network topology: disconnected, bad parameters, self loops."""
+
+
+class SimulationError(ReproError):
+    """Internal simulator invariant violated (event ordering, FIFO links)."""
+
+
+class RoutingError(ReproError):
+    """Routing-table or distributed shortest-path protocol error."""
+
+
+class SchedulingError(ReproError):
+    """Local scheduler invariant violated (overlapping reservations, ...)."""
+
+
+class InfeasibleError(SchedulingError):
+    """A task set cannot be scheduled within its release/deadline windows.
+
+    This is *not* an internal failure: feasibility tests raise or return
+    ``False`` depending on the API; protocol code treats it as a rejection.
+    """
+
+
+class MappingError(ReproError):
+    """The Mapper could not produce a Trial-Mapping (e.g. no processors)."""
+
+
+class ProtocolError(ReproError):
+    """RTDS protocol state-machine violation (unexpected message, lock)."""
+
+
+class ConfigError(ReproError):
+    """Invalid experiment or algorithm configuration."""
+
+
+class WorkloadError(ReproError):
+    """Invalid workload specification (negative rates, bad laxity factor)."""

@@ -1,0 +1,46 @@
+"""Experiment harness.
+
+* :mod:`repro.experiments.runner` — one entry point
+  (:func:`run_experiment`) that builds topology + sites + workload from a
+  declarative :class:`ExperimentConfig`, runs the simulation in two phases
+  (setup/routing, then workload) and returns summaries;
+* :mod:`repro.experiments.paper_example` — exact regeneration of the
+  paper's worked example (Figs 2–4, Table 1) and a Figure-1-style protocol
+  trace;
+* :mod:`repro.experiments.evaluation` — the E1–E5 sweep drivers used by
+  the benchmark files;
+* :mod:`repro.experiments.reporting` — plain-text tables.
+"""
+
+from repro.experiments.campaign import Aggregate, Campaign, PairedComparison
+from repro.experiments.runner import ExperimentConfig, RunResult, run_experiment
+from repro.experiments.verify import assert_sound, verify_execution
+from repro.experiments.paper_example import (
+    PAPER_DEADLINE,
+    PAPER_OMEGA,
+    PAPER_SURPLUSES,
+    paper_example_adjusted,
+    paper_example_trial_mapping,
+    run_fig1_scenario,
+    table1_rows,
+)
+from repro.experiments.reporting import format_table
+
+__all__ = [
+    "Aggregate",
+    "Campaign",
+    "PairedComparison",
+    "ExperimentConfig",
+    "RunResult",
+    "run_experiment",
+    "assert_sound",
+    "verify_execution",
+    "PAPER_DEADLINE",
+    "PAPER_OMEGA",
+    "PAPER_SURPLUSES",
+    "paper_example_adjusted",
+    "paper_example_trial_mapping",
+    "run_fig1_scenario",
+    "table1_rows",
+    "format_table",
+]

@@ -1,0 +1,134 @@
+"""Replicated experiment campaigns.
+
+One simulation run is one sample; claims need replications. A
+:class:`Campaign` runs a configuration across seeds, aggregates every
+summary metric with Student-t confidence intervals, and compares
+algorithms pairwise (difference of guarantee ratios with its own CI via
+per-seed pairing — the right analysis for matched workloads, since all
+algorithms see the *same* arrivals for a given seed).
+
+Used by the E1 bench's CI variant and available to users:
+
+    camp = Campaign(base_config, seeds=range(8))
+    agg = camp.run("rtds")
+    print(agg.mean["GR"], "+/-", agg.ci["GR"])
+    diff = camp.compare("rtds", "local")     # paired per-seed differences
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.experiments.runner import ExperimentConfig, RunResult, run_experiment
+from repro.metrics.stats import mean_confidence_interval
+
+#: summary attributes aggregated per campaign
+_METRICS = (
+    ("GR", "guarantee_ratio"),
+    ("effGR", "effective_ratio"),
+    ("msg/job", "messages_per_job"),
+    ("latency", "mean_decision_latency"),
+    ("miss", "n_missed"),
+    ("dist", "n_accepted_distributed"),
+)
+
+
+@dataclass
+class Aggregate:
+    """Mean ± 95% CI of each metric across replications."""
+
+    label: str
+    n_runs: int
+    mean: Dict[str, float]
+    ci: Dict[str, float]
+    per_seed: Dict[str, List[float]] = field(repr=False, default_factory=dict)
+
+    def row(self) -> Dict[str, object]:
+        out: Dict[str, object] = {"label": self.label, "runs": self.n_runs}
+        for key in self.mean:
+            out[key] = f"{self.mean[key]:.4g}±{self.ci[key]:.2g}"
+        return out
+
+
+@dataclass
+class PairedComparison:
+    """Per-seed paired difference of one metric between two algorithms."""
+
+    metric: str
+    a: str
+    b: str
+    mean_diff: float
+    ci: float
+    n: int
+
+    @property
+    def significant(self) -> bool:
+        """True iff the 95% CI of the paired difference excludes zero."""
+        return abs(self.mean_diff) > self.ci
+
+    def __str__(self) -> str:  # pragma: no cover - formatting aid
+        star = " (*)" if self.significant else ""
+        return (
+            f"{self.metric}: {self.a} - {self.b} = "
+            f"{self.mean_diff:+.4f} ± {self.ci:.4f}{star}"
+        )
+
+
+class Campaign:
+    """Runs one base configuration across seeds and algorithms."""
+
+    def __init__(self, base: ExperimentConfig, seeds: Iterable[int]):
+        self.base = base
+        self.seeds = list(seeds)
+        if not self.seeds:
+            raise ConfigError("campaign needs at least one seed")
+        self._cache: Dict[tuple, RunResult] = {}
+
+    def _run(self, algorithm: str, seed: int) -> RunResult:
+        key = (algorithm, seed)
+        if key not in self._cache:
+            cfg = replace(self.base, algorithm=algorithm, seed=seed, label=algorithm)
+            self._cache[key] = run_experiment(cfg)
+        return self._cache[key]
+
+    def run(self, algorithm: str) -> Aggregate:
+        """All replications of one algorithm, aggregated."""
+        per_seed: Dict[str, List[float]] = {k: [] for k, _ in _METRICS}
+        for seed in self.seeds:
+            s = self._run(algorithm, seed).summary
+            for key, attr in _METRICS:
+                per_seed[key].append(float(getattr(s, attr)))
+        mean: Dict[str, float] = {}
+        ci: Dict[str, float] = {}
+        for key, vals in per_seed.items():
+            clean = [v for v in vals if not np.isnan(v)]
+            m, h = mean_confidence_interval(clean) if clean else (float("nan"), 0.0)
+            mean[key], ci[key] = m, h
+        return Aggregate(
+            label=algorithm, n_runs=len(self.seeds), mean=mean, ci=ci, per_seed=per_seed
+        )
+
+    def compare(
+        self, a: str, b: str, metric: str = "GR"
+    ) -> PairedComparison:
+        """Paired per-seed difference ``a - b`` of one metric."""
+        keys = {k for k, _ in _METRICS}
+        if metric not in keys:
+            raise ConfigError(f"unknown metric {metric!r}; known: {sorted(keys)}")
+        attr = dict(_METRICS)[metric]
+        diffs = []
+        for seed in self.seeds:
+            va = float(getattr(self._run(a, seed).summary, attr))
+            vb = float(getattr(self._run(b, seed).summary, attr))
+            if not (np.isnan(va) or np.isnan(vb)):
+                diffs.append(va - vb)
+        m, h = mean_confidence_interval(diffs)
+        return PairedComparison(metric=metric, a=a, b=b, mean_diff=m, ci=h, n=len(diffs))
+
+    def table(self, algorithms: Sequence[str]) -> List[Dict[str, object]]:
+        """One aggregate row per algorithm (for ``format_table``)."""
+        return [self.run(a).row() for a in algorithms]

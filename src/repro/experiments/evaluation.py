@@ -1,0 +1,170 @@
+"""Sweep drivers for the implied evaluation (experiments E1–E5).
+
+The paper reports no empirical tables; its §14 claims define the curves:
+
+* E1 — guarantee ratio vs offered load, RTDS vs baselines;
+* E2 — protocol messages per job vs network size (the "arbitrary wide
+  networks" claim: RTDS flat, broadcast-based schemes growing);
+* E3 — sphere radius ``h`` sweep (acceptance saturates, cost grows);
+* E5 — §13 ablations (preemptive, laxity dispatching, local knowledge,
+  uniform machines, ACS size bound).
+
+Each driver returns plain dict-rows ready for
+:func:`repro.experiments.reporting.format_table`; the benchmark files wrap
+them with pytest-benchmark and print the tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.core.config import RTDSConfig
+from repro.experiments.runner import ExperimentConfig, RunResult, run_experiment
+
+
+def sweep_load(
+    base: ExperimentConfig,
+    algorithms: Sequence[str],
+    rhos: Sequence[float],
+    seeds: Sequence[int] = (0,),
+) -> List[Dict[str, Any]]:
+    """E1: guarantee ratio vs offered load per algorithm."""
+    rows: List[Dict[str, Any]] = []
+    for algo in algorithms:
+        for rho in rhos:
+            grs, effs, msgs = [], [], []
+            for seed in seeds:
+                cfg = replace(base, algorithm=algo, rho=rho, seed=seed, label=algo)
+                res = run_experiment(cfg)
+                grs.append(res.summary.guarantee_ratio)
+                effs.append(res.summary.effective_ratio)
+                msgs.append(res.summary.messages_per_job)
+            n = len(seeds)
+            rows.append(
+                {
+                    "algorithm": algo,
+                    "rho": rho,
+                    "GR": sum(grs) / n,
+                    "effGR": sum(effs) / n,
+                    "msg/job": sum(msgs) / n,
+                    "runs": n,
+                }
+            )
+    return rows
+
+
+def sweep_network_size(
+    base: ExperimentConfig,
+    algorithms: Sequence[str],
+    sizes: Sequence[int],
+    topology: str = "erdos_renyi",
+    degree: float = 4.0,
+) -> List[Dict[str, Any]]:
+    """E2: per-job message cost vs network size (constant mean degree)."""
+    rows: List[Dict[str, Any]] = []
+    for algo in algorithms:
+        for n in sizes:
+            p = min(1.0, degree / max(1, n - 1))
+            kwargs = {"n": n, "p": p}
+            if "delay_range" in base.topology_kwargs:
+                kwargs["delay_range"] = base.topology_kwargs["delay_range"]
+            cfg = replace(
+                base,
+                algorithm=algo,
+                topology=topology,
+                topology_kwargs=kwargs,
+                label=algo,
+            )
+            res = run_experiment(cfg)
+            rows.append(
+                {
+                    "algorithm": algo,
+                    "sites": n,
+                    "msg/job": res.summary.messages_per_job,
+                    "setup_msg": res.summary.setup_messages,
+                    "GR": res.summary.guarantee_ratio,
+                    "jobs": res.summary.n_jobs,
+                }
+            )
+    return rows
+
+
+def sweep_sphere_radius(
+    base: ExperimentConfig,
+    hs: Sequence[int],
+) -> List[Dict[str, Any]]:
+    """E3: effect of the PCS hop radius h."""
+    rows: List[Dict[str, Any]] = []
+    for h in hs:
+        cfg = replace(base, algorithm="rtds", rtds=replace(base.rtds, h=h), label=f"h={h}")
+        res = run_experiment(cfg)
+        mean_pcs = _mean_pcs_size(res)
+        rows.append(
+            {
+                "h": h,
+                "GR": res.summary.guarantee_ratio,
+                "effGR": res.summary.effective_ratio,
+                "msg/job": res.summary.messages_per_job,
+                "setup_msg": res.summary.setup_messages,
+                "mean_PCS": mean_pcs,
+                "mean_ACS": res.summary.mean_acs_size,
+            }
+        )
+    return rows
+
+
+def _mean_pcs_size(res: RunResult) -> float:
+    sizes = [
+        len(site.pcs)
+        for site in res.network.sites.values()
+        if getattr(site, "pcs", None) is not None
+    ]
+    return sum(sizes) / len(sizes) if sizes else float("nan")
+
+
+def sweep_ablations(base: ExperimentConfig) -> List[Dict[str, Any]]:
+    """E5: the §13 generalizations, one row per variant vs the default."""
+    variants: List[tuple] = [
+        ("base", base.rtds),
+        ("preemptive", replace(base.rtds, validation_preemptive=True)),
+        ("laxity=busyness", replace(base.rtds, laxity_mode="busyness")),
+        ("local_knowledge", replace(base.rtds, local_knowledge=True)),
+        ("acs<=4", replace(base.rtds, max_acs_size=4)),
+        ("queue_mode", replace(base.rtds, enroll_mode="queue")),
+        ("validation=llf", replace(base.rtds, validation_order="llf")),
+    ]
+    rows: List[Dict[str, Any]] = []
+    for name, rtds_cfg in variants:
+        cfg = replace(base, algorithm="rtds", rtds=rtds_cfg, label=name)
+        res = run_experiment(cfg)
+        rows.append(
+            {
+                "variant": name,
+                "GR": res.summary.guarantee_ratio,
+                "effGR": res.summary.effective_ratio,
+                "msg/job": res.summary.messages_per_job,
+                "miss": res.summary.n_missed,
+                "dist": res.summary.n_accepted_distributed,
+            }
+        )
+    return rows
+
+
+def sweep_uniform_machines(
+    base: ExperimentConfig, speed_sets: Dict[str, List[float]]
+) -> List[Dict[str, Any]]:
+    """E5b: heterogeneous computing powers (§13 uniform machines)."""
+    rows: List[Dict[str, Any]] = []
+    for name, speeds in speed_sets.items():
+        cfg = replace(base, algorithm="rtds", speeds=speeds, label=name)
+        res = run_experiment(cfg)
+        rows.append(
+            {
+                "speeds": name,
+                "GR": res.summary.guarantee_ratio,
+                "effGR": res.summary.effective_ratio,
+                "miss": res.summary.n_missed,
+            }
+        )
+    return rows

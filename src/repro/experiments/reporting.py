@@ -1,0 +1,49 @@
+"""Plain-text result tables (the benches' output format)."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence
+
+
+def format_table(
+    rows: Sequence[Dict[str, Any]],
+    columns: Optional[Sequence[str]] = None,
+    title: Optional[str] = None,
+) -> str:
+    """Render dict-rows as an aligned monospace table."""
+    if not rows:
+        return f"{title}\n(no rows)" if title else "(no rows)"
+    cols = list(columns) if columns is not None else list(rows[0].keys())
+    widths = {c: len(str(c)) for c in cols}
+    rendered: List[List[str]] = []
+    for row in rows:
+        line = []
+        for c in cols:
+            v = row.get(c, "")
+            if isinstance(v, float):
+                s = f"{v:.4g}"
+            else:
+                s = str(v)
+            widths[c] = max(widths[c], len(s))
+            line.append(s)
+        rendered.append(line)
+    sep = "-+-".join("-" * widths[c] for c in cols)
+    header = " | ".join(str(c).ljust(widths[c]) for c in cols)
+    body = "\n".join(
+        " | ".join(s.ljust(widths[c]) for s, c in zip(line, cols)) for line in rendered
+    )
+    out = f"{header}\n{sep}\n{body}"
+    if title:
+        out = f"{title}\n{out}"
+    return out
+
+
+def format_kv(title: str, pairs: Dict[str, Any]) -> str:
+    """Render a labelled key/value block."""
+    width = max(len(k) for k in pairs) if pairs else 0
+    lines = [title]
+    for k, v in pairs.items():
+        if isinstance(v, float):
+            v = f"{v:.4g}"
+        lines.append(f"  {k.ljust(width)} : {v}")
+    return "\n".join(lines)

@@ -1,0 +1,291 @@
+"""The experiment runner.
+
+``run_experiment(config)`` is the one entry point every benchmark and
+example uses. A run has two phases:
+
+1. **setup** — sites run their routing protocol (RTDS: ``2h`` phases;
+   baselines needing global routing: hop-diameter phases). The message
+   counter is snapshotted at the end: setup traffic is reported separately
+   from per-job protocol traffic.
+2. **workload** — job arrivals are injected at their (setup-shifted)
+   times; the simulation runs until every deadline plus a drain margin has
+   passed.
+
+Determinism: everything derives from ``config.seed`` — topology delays,
+workload, random-offload choices, and the tie-break rules are seed-free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro.baselines.centralized import CentralizedSite
+from repro.baselines.focused import FocusedSite
+from repro.baselines.local_only import LocalOnlySite
+from repro.baselines.random_offload import RandomOffloadSite
+from repro.core.config import RTDSConfig
+from repro.core.rtds import RTDSSite
+from repro.errors import ConfigError
+from repro.metrics.collector import MetricsCollector
+from repro.metrics.summary import ExperimentSummary, summarize
+from repro.routing.reference import dijkstra, hop_diameter
+from repro.simnet.engine import Simulator
+from repro.simnet.network import Network
+from repro.simnet.topology import Topology, build_network, topology_factory
+from repro.simnet.trace import Tracer
+from repro.workloads.jobs import Workload
+from repro.workloads.scenarios import WorkloadSpec, generate_workload
+
+ALGORITHMS = ("rtds", "local", "centralized", "focused", "random")
+
+
+@dataclass
+class ExperimentConfig:
+    """Declarative description of one simulation run."""
+
+    #: Default delays are small relative to task complexities (c ∈ [1, 8]):
+    #: distribution can only ever pay off when compute time dominates
+    #: propagation delay, the regime loosely-coupled real-time systems are
+    #: engineered for (and the implicit regime of the paper's example,
+    #: where ω = 3 vs task times 5-12).
+    topology: str = "erdos_renyi"
+    topology_kwargs: Dict[str, Any] = field(
+        default_factory=lambda: {"n": 16, "p": 0.25, "delay_range": (0.2, 1.0)}
+    )
+    algorithm: str = "rtds"
+    rtds: RTDSConfig = field(default_factory=RTDSConfig)
+    #: baseline knobs
+    focused_period: float = 50.0
+    focused_bid_count: int = 3
+    centralized_shortlist: int = 8
+    random_max_hops: int = 4
+    random_tries: int = 3
+    #: workload
+    rho: float = 0.6
+    duration: float = 600.0
+    laxity_factor: float = 3.0
+    dag_size: str = "small"
+    #: custom job-DAG factory ``rng -> Dag`` (overrides ``dag_size``'s mix)
+    dag_factory: Optional[Callable] = None
+    deadline_jitter: float = 0.2
+    hot_fraction: float = 0.0
+    hot_sites: int = 0
+    #: heterogeneous speeds (§13 uniform machines); None = all 1.0
+    speeds: Optional[List[float]] = None
+    #: §13 data-volume model: finite link throughput (None = pure
+    #: propagation delay) and per-task data volumes drawn from this range
+    link_throughput: Optional[float] = None
+    data_volume_range: Optional[tuple] = None
+    surplus_window: float = 200.0
+    drain_margin: float = 300.0
+    #: if set, every site forgets finished history older than one surplus
+    #: window, every ``hygiene_interval`` time units (long-run memory
+    #: hygiene; provably decision-neutral, see RTDSSite.prune_history).
+    #: Note: the post-run execution audit needs full records — leave None
+    #: when using repro.experiments.verify.
+    hygiene_interval: Optional[float] = None
+    seed: int = 0
+    trace: bool = False
+    label: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.algorithm not in ALGORITHMS:
+            raise ConfigError(f"unknown algorithm {self.algorithm!r}; known: {ALGORITHMS}")
+
+    def resolved_label(self) -> str:
+        return self.label or self.algorithm
+
+
+@dataclass
+class RunResult:
+    """Everything a bench might want from one finished run."""
+
+    config: ExperimentConfig
+    summary: ExperimentSummary
+    collector: MetricsCollector
+    network: Network
+    tracer: Tracer
+    topology: Topology
+    workload: Workload
+    setup_messages: int
+    setup_time: float
+
+    def site_utilizations(self, start: float, end: float) -> Dict[int, float]:
+        return {
+            sid: site.plan.load_between(start, end)
+            for sid, site in self.network.sites.items()
+        }
+
+
+def _speed_of(config: ExperimentConfig, sid: int) -> float:
+    if config.speeds is None:
+        return 1.0
+    return config.speeds[sid % len(config.speeds)]
+
+
+def _make_sites(
+    config: ExperimentConfig,
+    topo: Topology,
+    sim: Simulator,
+    tracer: Tracer,
+    metrics: MetricsCollector,
+) -> Network:
+    adj = topo.adjacency()
+    global_phases = max(1, hop_diameter(adj))
+
+    if config.algorithm == "rtds":
+        rtds_cfg = replace(config.rtds, surplus_window=config.surplus_window)
+
+        def factory(sid: int, net: Network) -> RTDSSite:
+            return RTDSSite(sid, net, rtds_cfg, speed=_speed_of(config, sid), metrics=metrics)
+
+    elif config.algorithm == "local":
+
+        def factory(sid: int, net: Network) -> LocalOnlySite:
+            return LocalOnlySite(
+                sid, net, surplus_window=config.surplus_window,
+                speed=_speed_of(config, sid), metrics=metrics,
+            )
+
+    elif config.algorithm == "centralized":
+
+        def factory(sid: int, net: Network) -> CentralizedSite:
+            return CentralizedSite(
+                sid, net, routing_phases=global_phases, coordinator_id=0,
+                surplus_window=config.surplus_window,
+                speed=_speed_of(config, sid), metrics=metrics,
+            )
+
+    elif config.algorithm == "focused":
+
+        def factory(sid: int, net: Network) -> FocusedSite:
+            return FocusedSite(
+                sid, net, routing_phases=global_phases,
+                broadcast_period=config.focused_period,
+                bid_count=config.focused_bid_count,
+                surplus_window=config.surplus_window,
+                speed=_speed_of(config, sid), metrics=metrics,
+            )
+
+    else:  # random
+
+        def factory(sid: int, net: Network) -> RandomOffloadSite:
+            return RandomOffloadSite(
+                sid, net, routing_phases=global_phases,
+                max_hops=config.random_max_hops, tries=config.random_tries,
+                seed=config.seed, surplus_window=config.surplus_window,
+                speed=_speed_of(config, sid), metrics=metrics,
+            )
+
+    return build_network(topo, sim, factory, tracer)
+
+
+def run_experiment(config: ExperimentConfig) -> RunResult:
+    """Build, run, summarize one experiment."""
+    rng = np.random.default_rng(config.seed)
+    topo = topology_factory(config.topology, rng=rng, **config.topology_kwargs)
+
+    sim = Simulator()
+    tracer = Tracer(enabled=config.trace)
+    metrics = MetricsCollector()
+    net = _make_sites(config, topo, sim, tracer, metrics)
+    if config.link_throughput is not None:
+        # applied post-construction so _make_sites stays algorithm-generic
+        for link in net.links():
+            link.throughput = config.link_throughput
+
+    sites = [net.site(sid) for sid in net.site_ids()]
+    for s in sites:
+        s.start()
+    if config.algorithm == "centralized":
+        adj = topo.adjacency()
+        distances = {sid: dijkstra(adj, sid) for sid in adj}
+        coord = net.site(0)
+        coord.install_coordinator(
+            dict(net.sites), distances, shortlist=config.centralized_shortlist
+        )
+
+    # --- phase 1: setup (routing; focused also primes its surplus tables).
+    # Routing drains on its own; focused's periodic broadcast never stops,
+    # so bound setup by one broadcast round trip.
+    if config.algorithm == "focused":
+        sim.run(until=config.focused_period * 1.5)
+        while not all(s.routing.done for s in sites):
+            sim.run(until=sim.now + config.focused_period)
+    else:
+        sim.run(until=None)
+    for s in sites:
+        if not s.routing.done:
+            raise ConfigError(
+                f"site {s.sid}: routing did not finish during setup "
+                f"(algorithm={config.algorithm})"
+            )
+    setup_messages = net.stats.total
+    setup_time = sim.now
+
+    # --- phase 2: workload.
+    dag_factory = config.dag_factory
+    if config.data_volume_range is not None:
+        from repro.graphs.transform import with_volumes_factory
+        from repro.workloads.scenarios import mixed_dag_factory
+
+        base_factory = dag_factory or mixed_dag_factory(config.dag_size)
+        dag_factory = with_volumes_factory(base_factory, config.data_volume_range)
+    spec = WorkloadSpec(
+        n_sites=topo.n,
+        rho=config.rho,
+        duration=config.duration,
+        laxity_factor=config.laxity_factor,
+        dag_size=config.dag_size,
+        dag_factory=dag_factory,
+        deadline_jitter=config.deadline_jitter,
+        hot_fraction=config.hot_fraction,
+        hot_sites=config.hot_sites,
+        capacities=[_speed_of(config, sid) for sid in range(topo.n)],
+        seed=config.seed + 7,
+    )
+    workload = generate_workload(spec)
+    shift = setup_time
+    for job in workload:
+        site = net.site(job.origin)
+        sim.schedule_at(
+            shift + job.arrival,
+            lambda s=site, j=job: s.submit_job(j.job, j.dag, shift + j.deadline),
+        )
+    horizon = shift + workload.last_deadline() + config.drain_margin
+    if config.hygiene_interval is not None:
+        interval = config.hygiene_interval
+
+        def hygiene_tick() -> None:
+            keep_from = sim.now - config.surplus_window
+            for s in sites:
+                prune = getattr(s, "prune_history", None)
+                if prune is not None and keep_from > 0:
+                    prune(keep_from)
+            if sim.now + interval < horizon:
+                sim.schedule(interval, hygiene_tick)
+
+        sim.schedule(interval, hygiene_tick)
+    sim.run(until=horizon)
+
+    summary = summarize(
+        config.resolved_label(),
+        metrics,
+        n_sites=topo.n,
+        total_messages=net.stats.total,
+        setup_messages=setup_messages,
+    )
+    return RunResult(
+        config=config,
+        summary=summary,
+        collector=metrics,
+        network=net,
+        tracer=tracer,
+        topology=topo,
+        workload=workload,
+        setup_messages=setup_messages,
+        setup_time=setup_time,
+    )

@@ -1,0 +1,221 @@
+"""The job DAG data structure.
+
+Design notes
+------------
+The paper manipulates small-to-moderate DAGs (tens to hundreds of tasks) but
+a simulation run schedules *thousands* of job instances, so the structure is
+optimised for cheap repeated traversal: predecessor/successor adjacency is
+stored as tuples (immutable, cache-friendly), and derived quantities such as
+the topological order are computed once and memoised.
+
+A :class:`Dag` is immutable after construction; workload generators build
+fresh instances. Mutability would buy nothing here (jobs never change shape
+after arrival) and immutability lets sites share one DAG object safely in the
+simulator without copying.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, Mapping, Sequence, Tuple
+
+from repro.errors import CycleError, DagError
+from repro.types import TaskId
+
+
+@dataclass(frozen=True)
+class Task:
+    """One task of a job DAG.
+
+    Attributes
+    ----------
+    tid:
+        Identifier, unique inside the DAG.
+    complexity:
+        Computational Complexity ``c(t)`` (execution time on a unit-speed,
+        fully idle site). Must be positive.
+    data_volume:
+        Optional output-data volume used by the §13 "Communication Delays"
+        generalization (delay += volume / throughput). Zero means the pure
+        propagation-delay model of the main algorithm.
+    """
+
+    tid: TaskId
+    complexity: float
+    data_volume: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.complexity <= 0:
+            raise DagError(f"task {self.tid!r}: complexity must be > 0, got {self.complexity}")
+        if self.data_volume < 0:
+            raise DagError(f"task {self.tid!r}: data_volume must be >= 0, got {self.data_volume}")
+
+
+class Dag:
+    """Immutable job precedence graph ``G = (T, E)``.
+
+    Parameters
+    ----------
+    tasks:
+        Iterable of :class:`Task`. Ids must be unique.
+    edges:
+        Iterable of ``(pred_id, succ_id)`` precedence arcs. Both endpoints
+        must be task ids; duplicates are rejected; the relation must be
+        acyclic.
+    name:
+        Optional human-readable label used by traces and reports.
+    """
+
+    __slots__ = ("_tasks", "_preds", "_succs", "_edges", "_order", "name")
+
+    def __init__(
+        self,
+        tasks: Iterable[Task],
+        edges: Iterable[Tuple[TaskId, TaskId]] = (),
+        name: str = "dag",
+    ) -> None:
+        task_map: Dict[TaskId, Task] = {}
+        for t in tasks:
+            if t.tid in task_map:
+                raise DagError(f"duplicate task id {t.tid!r}")
+            task_map[t.tid] = t
+        if not task_map:
+            raise DagError("a DAG needs at least one task")
+
+        preds: Dict[TaskId, list] = {tid: [] for tid in task_map}
+        succs: Dict[TaskId, list] = {tid: [] for tid in task_map}
+        edge_set = set()
+        for u, v in edges:
+            if u not in task_map:
+                raise DagError(f"edge ({u!r}, {v!r}): unknown predecessor {u!r}")
+            if v not in task_map:
+                raise DagError(f"edge ({u!r}, {v!r}): unknown successor {v!r}")
+            if u == v:
+                raise CycleError(f"self-loop on task {u!r}")
+            if (u, v) in edge_set:
+                raise DagError(f"duplicate edge ({u!r}, {v!r})")
+            edge_set.add((u, v))
+            succs[u].append(v)
+            preds[v].append(u)
+
+        self.name = name
+        self._tasks: Dict[TaskId, Task] = task_map
+        self._preds: Dict[TaskId, Tuple[TaskId, ...]] = {k: tuple(v) for k, v in preds.items()}
+        self._succs: Dict[TaskId, Tuple[TaskId, ...]] = {k: tuple(v) for k, v in succs.items()}
+        self._edges: Tuple[Tuple[TaskId, TaskId], ...] = tuple(sorted(edge_set, key=repr))
+        self._order: Tuple[TaskId, ...] = self._toposort()
+
+    # -- basic accessors ---------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._tasks)
+
+    def __contains__(self, tid: TaskId) -> bool:
+        return tid in self._tasks
+
+    def __iter__(self) -> Iterator[TaskId]:
+        return iter(self._order)
+
+    def task(self, tid: TaskId) -> Task:
+        """Return the :class:`Task` with id ``tid``."""
+        try:
+            return self._tasks[tid]
+        except KeyError:
+            raise DagError(f"unknown task id {tid!r}") from None
+
+    def complexity(self, tid: TaskId) -> float:
+        """Shorthand for ``self.task(tid).complexity`` (hot path)."""
+        return self._tasks[tid].complexity
+
+    @property
+    def tasks(self) -> Mapping[TaskId, Task]:
+        """Read-only id → :class:`Task` mapping."""
+        return self._tasks
+
+    @property
+    def edges(self) -> Tuple[Tuple[TaskId, TaskId], ...]:
+        """All precedence arcs as ``(pred, succ)`` pairs (sorted, stable)."""
+        return self._edges
+
+    def predecessors(self, tid: TaskId) -> Tuple[TaskId, ...]:
+        """Immediate predecessors Γ⁻(t)."""
+        return self._preds[tid]
+
+    def successors(self, tid: TaskId) -> Tuple[TaskId, ...]:
+        """Immediate successors Γ⁺(t)."""
+        return self._succs[tid]
+
+    def sources(self) -> Tuple[TaskId, ...]:
+        """Tasks with no predecessor (entry tasks)."""
+        return tuple(t for t in self._order if not self._preds[t])
+
+    def sinks(self) -> Tuple[TaskId, ...]:
+        """Tasks with no successor (exit tasks)."""
+        return tuple(t for t in self._order if not self._succs[t])
+
+    def topological_order(self) -> Tuple[TaskId, ...]:
+        """A fixed topological order (Kahn, ties broken by insertion order)."""
+        return self._order
+
+    def total_complexity(self) -> float:
+        """Sum of all task complexities (sequential work of the job)."""
+        return sum(t.complexity for t in self._tasks.values())
+
+    def edge_count(self) -> int:
+        return len(self._edges)
+
+    # -- internals ---------------------------------------------------------
+
+    def _toposort(self) -> Tuple[TaskId, ...]:
+        indeg = {tid: len(p) for tid, p in self._preds.items()}
+        # Insertion order of the task map makes the sort deterministic.
+        ready = [tid for tid in self._tasks if indeg[tid] == 0]
+        order: list = []
+        head = 0
+        while head < len(ready):
+            u = ready[head]
+            head += 1
+            order.append(u)
+            for v in self._succs[u]:
+                indeg[v] -= 1
+                if indeg[v] == 0:
+                    ready.append(v)
+        if len(order) != len(self._tasks):
+            stuck = sorted((tid for tid, d in indeg.items() if d > 0), key=repr)
+            raise CycleError(f"precedence relation has a cycle through {stuck}")
+        return tuple(order)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Dag({self.name!r}, |T|={len(self)}, |E|={len(self._edges)})"
+
+
+def chain_decomposition_width(dag: Dag) -> int:
+    """Number of sources = trivial lower bound on useful parallelism.
+
+    Exposed mainly for workload diagnostics; the mapper never needs it.
+    """
+    return len(dag.sources())
+
+
+def ancestors(dag: Dag, tid: TaskId) -> frozenset:
+    """All transitive predecessors of ``tid`` (excluding itself)."""
+    seen = set()
+    stack = list(dag.predecessors(tid))
+    while stack:
+        u = stack.pop()
+        if u not in seen:
+            seen.add(u)
+            stack.extend(dag.predecessors(u))
+    return frozenset(seen)
+
+
+def descendants(dag: Dag, tid: TaskId) -> frozenset:
+    """All transitive successors of ``tid`` (excluding itself)."""
+    seen = set()
+    stack = list(dag.successors(tid))
+    while stack:
+        u = stack.pop()
+        if u not in seen:
+            seen.add(u)
+            stack.extend(dag.successors(u))
+    return frozenset(seen)

@@ -1,0 +1,325 @@
+"""Job-DAG generators.
+
+The paper's workload is "sporadic jobs with arbitrary precedence relations";
+it gives no benchmark suite, so — as in the DAG-scheduling literature it
+cites (Sih & Lee, Iverson & Özgüner) — we provide the standard structured
+families (chains, fork-join, trees, diamonds, series-parallel,
+Gaussian-elimination, FFT butterflies) plus two random families (layered and
+Erdős–Rényi-ordered). All generators:
+
+* take a ``numpy.random.Generator`` for determinism (never the global RNG),
+* draw complexities from a configurable range,
+* return an immutable :class:`~repro.graphs.dag.Dag` whose task ids are
+  ``0..n-1`` in a topological order (except :func:`paper_example_dag`, which
+  uses the paper's 1..5 ids).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import DagError
+from repro.graphs.dag import Dag, Task
+
+
+def _complexities(
+    rng: np.random.Generator, n: int, c_range: Tuple[float, float]
+) -> np.ndarray:
+    lo, hi = c_range
+    if lo <= 0 or hi < lo:
+        raise DagError(f"invalid complexity range {c_range}")
+    # Uniform draw, vectorised; values are strictly positive because lo > 0.
+    return rng.uniform(lo, hi, size=n)
+
+
+def _tasks(cs: Sequence[float], data_volume: float = 0.0) -> list:
+    return [Task(i, float(c), data_volume) for i, c in enumerate(cs)]
+
+
+def paper_example_dag() -> Dag:
+    """The exact instance of Figure 2 (reconstructed, see DESIGN.md §4).
+
+    Five tasks with complexities ``c = (6, 4, 4, 2, 5)`` (ids 1..5 as in the
+    paper) and arcs ``1→3, 2→3, 1→4, 3→5, 4→5``.
+    """
+    tasks = [Task(1, 6.0), Task(2, 4.0), Task(3, 4.0), Task(4, 2.0), Task(5, 5.0)]
+    edges = [(1, 3), (2, 3), (1, 4), (3, 5), (4, 5)]
+    return Dag(tasks, edges, name="paper-fig2")
+
+
+def linear_chain_dag(
+    n: int,
+    rng: Optional[np.random.Generator] = None,
+    c_range: Tuple[float, float] = (1.0, 10.0),
+) -> Dag:
+    """A pure sequential chain ``0 → 1 → ... → n-1`` (zero parallelism)."""
+    if n < 1:
+        raise DagError("chain needs n >= 1")
+    rng = rng or np.random.default_rng(0)
+    cs = _complexities(rng, n, c_range)
+    edges = [(i, i + 1) for i in range(n - 1)]
+    return Dag(_tasks(cs), edges, name=f"chain-{n}")
+
+
+def fork_join_dag(
+    width: int,
+    rng: Optional[np.random.Generator] = None,
+    c_range: Tuple[float, float] = (1.0, 10.0),
+) -> Dag:
+    """Source → ``width`` parallel tasks → sink (max parallelism)."""
+    if width < 1:
+        raise DagError("fork-join needs width >= 1")
+    rng = rng or np.random.default_rng(0)
+    n = width + 2
+    cs = _complexities(rng, n, c_range)
+    edges = [(0, i) for i in range(1, width + 1)]
+    edges += [(i, width + 1) for i in range(1, width + 1)]
+    return Dag(_tasks(cs), edges, name=f"forkjoin-{width}")
+
+
+def out_tree_dag(
+    depth: int,
+    branching: int = 2,
+    rng: Optional[np.random.Generator] = None,
+    c_range: Tuple[float, float] = (1.0, 10.0),
+) -> Dag:
+    """Complete out-tree (root spawns ``branching`` children per level)."""
+    if depth < 1 or branching < 1:
+        raise DagError("out-tree needs depth >= 1 and branching >= 1")
+    rng = rng or np.random.default_rng(0)
+    n = sum(branching**d for d in range(depth))
+    cs = _complexities(rng, n, c_range)
+    edges = []
+    for i in range(n):
+        for b in range(branching):
+            child = i * branching + 1 + b
+            if child < n:
+                edges.append((i, child))
+    return Dag(_tasks(cs), edges, name=f"outtree-d{depth}b{branching}")
+
+
+def in_tree_dag(
+    depth: int,
+    branching: int = 2,
+    rng: Optional[np.random.Generator] = None,
+    c_range: Tuple[float, float] = (1.0, 10.0),
+) -> Dag:
+    """Complete in-tree (reduction): edges of the out-tree reversed.
+
+    Task ids are renumbered so that ids still form a topological order
+    (leaves first, root = last id).
+    """
+    base = out_tree_dag(depth, branching, rng, c_range)
+    n = len(base)
+    # Reverse edges and relabel i -> n-1-i so ids stay topologically sorted.
+    relabel = {i: n - 1 - i for i in range(n)}
+    tasks = [Task(relabel[t.tid], t.complexity) for t in base.tasks.values()]
+    tasks.sort(key=lambda t: t.tid)
+    edges = [(relabel[v], relabel[u]) for (u, v) in base.edges]
+    return Dag(tasks, edges, name=f"intree-d{depth}b{branching}")
+
+
+def diamond_dag(
+    side: int,
+    rng: Optional[np.random.Generator] = None,
+    c_range: Tuple[float, float] = (1.0, 10.0),
+) -> Dag:
+    """Diamond / wavefront dependency grid of ``side × side`` tasks.
+
+    Task ``(i, j)`` depends on ``(i-1, j)`` and ``(i, j-1)`` — the classic
+    stencil/LU-wavefront pattern.
+    """
+    if side < 1:
+        raise DagError("diamond needs side >= 1")
+    rng = rng or np.random.default_rng(0)
+    n = side * side
+    cs = _complexities(rng, n, c_range)
+
+    def tid(i: int, j: int) -> int:
+        return i * side + j
+
+    edges = []
+    for i in range(side):
+        for j in range(side):
+            if i + 1 < side:
+                edges.append((tid(i, j), tid(i + 1, j)))
+            if j + 1 < side:
+                edges.append((tid(i, j), tid(i, j + 1)))
+    return Dag(_tasks(cs), edges, name=f"diamond-{side}")
+
+
+def gaussian_elimination_dag(
+    size: int,
+    rng: Optional[np.random.Generator] = None,
+    c_range: Tuple[float, float] = (1.0, 10.0),
+) -> Dag:
+    """Task graph of column-wise Gaussian elimination on a ``size×size`` matrix.
+
+    For each step k there is one pivot task P(k) and update tasks U(k, j) for
+    j > k; P(k) → U(k, j) and U(k, j) → P(k+1), U(k, j') of the next step —
+    the standard dense-LU task graph used throughout the scheduling
+    literature.
+    """
+    if size < 2:
+        raise DagError("gaussian elimination needs size >= 2")
+    rng = rng or np.random.default_rng(0)
+    ids = {}
+    nid = 0
+    for k in range(size - 1):
+        ids[("P", k)] = nid
+        nid += 1
+        for j in range(k + 1, size):
+            ids[("U", k, j)] = nid
+            nid += 1
+    cs = _complexities(rng, nid, c_range)
+    edges = []
+    for k in range(size - 1):
+        for j in range(k + 1, size):
+            edges.append((ids[("P", k)], ids[("U", k, j)]))
+            if k + 1 < size - 1:
+                if j == k + 1:
+                    edges.append((ids[("U", k, j)], ids[("P", k + 1)]))
+                else:
+                    edges.append((ids[("U", k, j)], ids[("U", k + 1, j)]))
+    return Dag(_tasks(cs), edges, name=f"gauss-{size}")
+
+
+def fft_dag(
+    points: int,
+    rng: Optional[np.random.Generator] = None,
+    c_range: Tuple[float, float] = (1.0, 10.0),
+) -> Dag:
+    """Butterfly task graph of a ``points``-point FFT (points = power of two).
+
+    ``log2(points)`` stages of ``points`` tasks; task ``(s, i)`` feeds
+    ``(s+1, i)`` and ``(s+1, i XOR 2^s)``.
+    """
+    if points < 2 or points & (points - 1):
+        raise DagError("fft needs a power-of-two points >= 2")
+    rng = rng or np.random.default_rng(0)
+    stages = points.bit_length() - 1
+    n = (stages + 1) * points
+
+    def tid(s: int, i: int) -> int:
+        return s * points + i
+
+    cs = _complexities(rng, n, c_range)
+    edges = []
+    for s in range(stages):
+        for i in range(points):
+            edges.append((tid(s, i), tid(s + 1, i)))
+            edges.append((tid(s, i), tid(s + 1, i ^ (1 << s))))
+    return Dag(_tasks(cs), edges, name=f"fft-{points}")
+
+
+def series_parallel_dag(
+    n: int,
+    rng: Optional[np.random.Generator] = None,
+    c_range: Tuple[float, float] = (1.0, 10.0),
+    p_parallel: float = 0.5,
+) -> Dag:
+    """Random series-parallel DAG with ~``n`` tasks.
+
+    Built by recursive expansion: start from a single edge and repeatedly
+    replace a random task by a series or parallel composition until the task
+    budget is reached. Guarantees a single source and a single sink.
+    """
+    if n < 1:
+        raise DagError("series-parallel needs n >= 1")
+    rng = rng or np.random.default_rng(0)
+    # Represent as adjacency over integer ids; grow by splitting nodes.
+    succs = {0: set()}
+    next_id = 1
+    interior = [0]
+    while next_id < n:
+        v = interior[int(rng.integers(len(interior)))]
+        w = next_id
+        next_id += 1
+        if rng.random() < p_parallel and succs[v]:
+            # Parallel: w duplicates v's connections from one predecessor
+            # side — simpler: w becomes a sibling of v sharing succ set.
+            succs[w] = set(succs[v])
+            interior.append(w)
+        else:
+            # Series: v -> w, w inherits v's successors.
+            succs[w] = succs[v]
+            succs[v] = {w}
+            interior.append(w)
+    cs = _complexities(rng, next_id, c_range)
+    edges = [(u, v) for u, ss in succs.items() for v in ss]
+    # Parallel siblings may leave several sources/sinks; that is fine for a
+    # job DAG (the paper allows arbitrary precedence relations).
+    return Dag(_tasks(cs), edges, name=f"sp-{next_id}")
+
+
+def layered_dag(
+    layers: int,
+    width: int,
+    rng: Optional[np.random.Generator] = None,
+    c_range: Tuple[float, float] = (1.0, 10.0),
+    p_edge: float = 0.5,
+    jitter: bool = True,
+) -> Dag:
+    """Random layered DAG (the workhorse of scheduling evaluations).
+
+    ``layers`` layers of ``width`` tasks (±50% if ``jitter``); each task gets
+    at least one predecessor in the previous layer, plus extra edges with
+    probability ``p_edge``.
+    """
+    if layers < 1 or width < 1:
+        raise DagError("layered DAG needs layers >= 1 and width >= 1")
+    if not 0.0 <= p_edge <= 1.0:
+        raise DagError(f"p_edge must be in [0,1], got {p_edge}")
+    rng = rng or np.random.default_rng(0)
+    layer_sizes = []
+    for _ in range(layers):
+        if jitter and width > 1:
+            layer_sizes.append(int(rng.integers(max(1, width // 2), width + width // 2 + 1)))
+        else:
+            layer_sizes.append(width)
+    ids_per_layer = []
+    nid = 0
+    for sz in layer_sizes:
+        ids_per_layer.append(list(range(nid, nid + sz)))
+        nid += sz
+    cs = _complexities(rng, nid, c_range)
+    edges = []
+    for li in range(1, layers):
+        prev, cur = ids_per_layer[li - 1], ids_per_layer[li]
+        for v in cur:
+            # Guaranteed predecessor keeps the graph layered-connected.
+            u = prev[int(rng.integers(len(prev)))]
+            edges.append((u, v))
+            for u2 in prev:
+                if u2 != u and rng.random() < p_edge:
+                    edges.append((u2, v))
+    return Dag(_tasks(cs), edges, name=f"layered-{layers}x{width}")
+
+
+def random_dag(
+    n: int,
+    rng: Optional[np.random.Generator] = None,
+    c_range: Tuple[float, float] = (1.0, 10.0),
+    p_edge: float = 0.15,
+) -> Dag:
+    """Erdős–Rényi DAG: order tasks 0..n-1, add each forward edge w.p. ``p``.
+
+    Transitively redundant edges are kept (they are legal precedence
+    constraints and exercise the scheduler's handling of dense Γ⁻ sets).
+    """
+    if n < 1:
+        raise DagError("random DAG needs n >= 1")
+    if not 0.0 <= p_edge <= 1.0:
+        raise DagError(f"p_edge must be in [0,1], got {p_edge}")
+    rng = rng or np.random.default_rng(0)
+    cs = _complexities(rng, n, c_range)
+    # Vectorised coin flips for the upper triangle.
+    edges = []
+    if n > 1:
+        coins = rng.random((n, n))
+        iu, ju = np.triu_indices(n, k=1)
+        mask = coins[iu, ju] < p_edge
+        edges = list(zip(iu[mask].tolist(), ju[mask].tolist()))
+    return Dag(_tasks(cs), edges, name=f"er-{n}-p{p_edge}")

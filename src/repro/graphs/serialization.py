@@ -1,0 +1,77 @@
+"""Plain-dict (JSON-compatible) serialization for job DAGs.
+
+The simulator ships "task code" between sites as messages; serializing the
+DAG to a dict both sizes those messages realistically (see
+``Message.payload_size``) and gives users a stable on-disk format.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict
+
+from repro.errors import DagError
+from repro.graphs.dag import Dag, Task
+
+
+def dag_to_dict(dag: Dag) -> Dict[str, Any]:
+    """Serialize ``dag`` to a JSON-compatible dict.
+
+    Task ids must themselves be JSON-compatible (ints or strings); the
+    generators only produce such ids.
+    """
+    return {
+        "name": dag.name,
+        "tasks": [
+            {"tid": t.tid, "complexity": t.complexity, "data_volume": t.data_volume}
+            for t in (dag.task(tid) for tid in dag.topological_order())
+        ],
+        "edges": [[u, v] for (u, v) in dag.edges],
+    }
+
+
+def dag_from_dict(data: Dict[str, Any]) -> Dag:
+    """Inverse of :func:`dag_to_dict`. Validates structure eagerly."""
+    try:
+        tasks = [
+            Task(t["tid"], float(t["complexity"]), float(t.get("data_volume", 0.0)))
+            for t in data["tasks"]
+        ]
+        edges = [(u, v) for (u, v) in data["edges"]]
+        name = str(data.get("name", "dag"))
+    except (KeyError, TypeError, ValueError) as exc:
+        raise DagError(f"malformed DAG dict: {exc}") from exc
+    return Dag(tasks, edges, name=name)
+
+
+def dag_to_json(dag: Dag) -> str:
+    """Serialize to a compact JSON string."""
+    return json.dumps(dag_to_dict(dag), separators=(",", ":"))
+
+
+def dag_from_json(text: str) -> Dag:
+    """Parse a DAG from :func:`dag_to_json` output."""
+    return dag_from_dict(json.loads(text))
+
+
+def dag_to_dot(dag: Dag) -> str:
+    """Render the DAG in Graphviz dot syntax (for offline inspection)."""
+    lines = [f'digraph "{dag.name}" {{', "  rankdir=TB;"]
+    for tid in dag.topological_order():
+        t = dag.task(tid)
+        lines.append(f'  "{tid}" [label="{tid}\\nc={t.complexity:g}"];')
+    for u, v in dag.edges:
+        lines.append(f'  "{u}" -> "{v}";')
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def estimate_code_size(dag: Dag, units_per_task: float = 4.0) -> float:
+    """Size of the "tasks code" message of §11, in abstract size units.
+
+    The unit scale is chosen to be commensurate with task *data volumes*
+    (typically 1-12 units in the workloads) so that, under the §13
+    finite-throughput model, code dispatch costs the same order as a few
+    result transfers — code is small next to data in real deployments.
+    """
+    return units_per_task * len(dag) + 1.0 * dag.edge_count()

@@ -1,0 +1,30 @@
+"""Measurement layer.
+
+* :mod:`repro.metrics.collector` — the harness-level observer that records
+  job outcomes and task completions (the protocol has no feedback loop; all
+  accounting happens here);
+* :mod:`repro.metrics.summary` — aggregation into the quantities the
+  benchmarks report (guarantee ratio, effective ratio, messages per job,
+  latencies);
+* :mod:`repro.metrics.stats` — means, confidence intervals, comparison
+  helpers (implemented with numpy, t-quantiles without scipy dependency at
+  runtime).
+"""
+
+from repro.metrics.collector import MetricsCollector
+from repro.metrics.latency import mean_phase_breakdown, phase_latencies
+from repro.metrics.protocol_stats import ProtocolStats, protocol_stats
+from repro.metrics.summary import ExperimentSummary, summarize
+from repro.metrics.stats import mean_confidence_interval, ratio_confidence_interval
+
+__all__ = [
+    "MetricsCollector",
+    "ExperimentSummary",
+    "summarize",
+    "mean_confidence_interval",
+    "ratio_confidence_interval",
+    "mean_phase_breakdown",
+    "phase_latencies",
+    "ProtocolStats",
+    "protocol_stats",
+]

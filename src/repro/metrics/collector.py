@@ -1,0 +1,101 @@
+"""Harness-level metrics collection.
+
+A single :class:`MetricsCollector` per experiment observes every site:
+sites report arrivals and decisions; task completions flow in through the
+executors' completion callbacks (the collector's ``on_task_complete`` is
+registered on every site's executor). The collector is an *oracle observer*
+— it never feeds information back into the protocol.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.core.events import JobOutcome, JobRecord
+from repro.errors import ReproError
+from repro.types import JobId, SiteId, TaskId, Time
+
+
+class MetricsCollector:
+    """Collects job records across all sites of one simulation run."""
+
+    def __init__(self) -> None:
+        self.jobs: Dict[JobId, JobRecord] = {}
+
+    # -- called by scheduler sites ------------------------------------------
+
+    def register_job(self, record: JobRecord) -> None:
+        if record.job in self.jobs:
+            raise ReproError(f"duplicate job id {record.job}")
+        self.jobs[record.job] = record
+
+    def decide(
+        self,
+        job: JobId,
+        outcome: JobOutcome,
+        time: Time,
+        hosts: Optional[List[SiteId]] = None,
+        acs_size: Optional[int] = None,
+    ) -> None:
+        rec = self.jobs.get(job)
+        if rec is None:
+            raise ReproError(f"decision for unknown job {job}")
+        if rec.outcome is not JobOutcome.PENDING:
+            raise ReproError(
+                f"job {job} decided twice: {rec.outcome.value} then {outcome.value}"
+            )
+        rec.outcome = outcome
+        rec.decided_at = time
+        if hosts is not None:
+            rec.hosts = list(hosts)
+        if acs_size is not None:
+            rec.acs_size = acs_size
+
+    # -- called by executors ---------------------------------------------------
+
+    def on_task_complete(self, job: JobId, task: TaskId, time: Time) -> None:
+        rec = self.jobs.get(job)
+        if rec is None:
+            return  # tasks of jobs from another collector's run
+        if task in rec.completions:
+            raise ReproError(f"job {job} task {task!r} completed twice")
+        rec.completions[task] = time
+
+    # -- queries -------------------------------------------------------------------
+
+    def records(self) -> List[JobRecord]:
+        return [self.jobs[j] for j in sorted(self.jobs)]
+
+    def count(self, outcome: JobOutcome) -> int:
+        return sum(1 for r in self.jobs.values() if r.outcome is outcome)
+
+    def n_arrived(self) -> int:
+        return len(self.jobs)
+
+    def n_accepted(self) -> int:
+        return sum(1 for r in self.jobs.values() if r.outcome.accepted)
+
+    def n_completed_in_time(self) -> int:
+        return sum(1 for r in self.jobs.values() if r.met_deadline is True)
+
+    def n_missed(self) -> int:
+        """Accepted jobs that finished late (guarantee violated)."""
+        return sum(1 for r in self.jobs.values() if r.met_deadline is False)
+
+    def n_unfinished(self) -> int:
+        """Accepted jobs with tasks still pending at the end of the run."""
+        return sum(
+            1
+            for r in self.jobs.values()
+            if r.outcome.accepted and not r.completed
+        )
+
+    def guarantee_ratio(self) -> float:
+        """Accepted / arrived (the paper's 'number of accepted jobs')."""
+        n = self.n_arrived()
+        return self.n_accepted() / n if n else 0.0
+
+    def effective_ratio(self) -> float:
+        """Completed-by-deadline / arrived (stronger than acceptance)."""
+        n = self.n_arrived()
+        return self.n_completed_in_time() / n if n else 0.0

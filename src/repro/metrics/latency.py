@@ -1,0 +1,94 @@
+"""Protocol-phase latency breakdown from traces.
+
+For distributed acceptances, the decision latency decomposes into the
+protocol phases of Figure 1:
+
+* **enroll** — job arrival (local reject) → last ENROLL_ACK collected,
+* **map** — mapping + adjustment (includes the configured mapper cost),
+* **validate** — VALIDATE broadcast → coupling decided,
+* total = decision latency.
+
+Computed entirely from the tracer (requires ``trace=True`` on the run).
+Used by the E3 bench to show *why* large spheres stop paying: every phase
+scales with the sphere radius.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.simnet.trace import Tracer
+
+
+@dataclass(frozen=True)
+class PhaseLatency:
+    """Per-job protocol phase durations (absent phases are None)."""
+
+    job: int
+    enroll: Optional[float]
+    mapping: Optional[float]
+    validate: Optional[float]
+    total: Optional[float]
+
+
+def phase_latencies(tracer: Tracer) -> List[PhaseLatency]:
+    """Extract per-job phase durations for every initiated protocol run."""
+    by_job: Dict[int, Dict[str, float]] = {}
+    for e in tracer.events:
+        job = e.detail.get("job")
+        if job is None:
+            continue
+        slot = by_job.setdefault(job, {})
+        # first occurrence of each marker wins
+        if e.category == "acs.enroll" and "enroll_start" not in slot:
+            slot["enroll_start"] = e.time
+        elif e.category == "map.done" and "map_done" not in slot:
+            slot["map_done"] = e.time
+        elif e.category in ("validate.ok", "validate.fail") and "validated" not in slot:
+            slot["validated"] = e.time
+        elif e.category == "job.decision" and "decided" not in slot:
+            slot["decided"] = e.time
+        elif e.category == "job.arrival" and "arrived" not in slot:
+            slot["arrived"] = e.time
+
+    out: List[PhaseLatency] = []
+    for job, slot in sorted(by_job.items()):
+        if "enroll_start" not in slot:
+            continue  # locally decided, no protocol phases
+        map_done = slot.get("map_done")
+        enroll = (map_done - slot["enroll_start"]) if map_done is not None else None
+        validated = slot.get("validated")
+        validate = (
+            validated - map_done if validated is not None and map_done is not None else None
+        )
+        decided = slot.get("decided")
+        arrived = slot.get("arrived")
+        total = decided - arrived if decided is not None and arrived is not None else None
+        out.append(
+            PhaseLatency(
+                job=job,
+                enroll=enroll,
+                mapping=0.0 if enroll is not None else None,  # folded into enroll→map_done
+                validate=validate,
+                total=total,
+            )
+        )
+    return out
+
+
+def mean_phase_breakdown(tracer: Tracer) -> Dict[str, float]:
+    """Mean enroll/validate/total durations over all protocol runs."""
+    lats = phase_latencies(tracer)
+    def mean(vals):
+        vals = [v for v in vals if v is not None]
+        return float(np.mean(vals)) if vals else float("nan")
+
+    return {
+        "runs": float(len(lats)),
+        "enroll+map": mean([l.enroll for l in lats]),
+        "validate": mean([l.validate for l in lats]),
+        "total": mean([l.total for l in lats]),
+    }

@@ -1,0 +1,28 @@
+"""Distributed shortest-path substrate (paper §7).
+
+The PCS is built by an *interrupted* distributed all-pairs shortest-path
+algorithm: the asynchronous Bellman–Ford of Bertsekas & Gallager, organised
+into logical phases and stopped after ``2h`` phases so flooding never leaves
+the neighbourhood.
+
+* :mod:`repro.routing.table` — routing tables with ``<destination,
+  distance, next hop>`` lines plus hop/discovery-phase metadata.
+* :mod:`repro.routing.bellman_ford` — the phased protocol run over the
+  simulator by every site simultaneously (delta updates, per-phase
+  synchronisation with buffering of early neighbours).
+* :mod:`repro.routing.reference` — centralized hop-bounded Bellman–Ford and
+  Dijkstra oracles used by tests and metrics (never by protocol code).
+"""
+
+from repro.routing.table import RouteEntry, RoutingTable
+from repro.routing.bellman_ford import PhasedBellmanFord, run_pcs_phase_protocol
+from repro.routing.reference import dijkstra, hop_bounded_distances
+
+__all__ = [
+    "RouteEntry",
+    "RoutingTable",
+    "PhasedBellmanFord",
+    "run_pcs_phase_protocol",
+    "dijkstra",
+    "hop_bounded_distances",
+]

@@ -1,0 +1,264 @@
+"""The compute processor: executes committed reservations.
+
+The paper separates each site's *management* processor (protocol) from its
+*compute* processor (task execution). This module is the compute processor:
+an event-driven executor that follows the site's scheduling plan.
+
+Execution model
+---------------
+* A task owns one or more reservation *chunks* (one in the non-preemptive
+  scheduler; several when the §13 preemptive scheduler split it across idle
+  windows). Chunks of one task execute in start order; the task completes
+  at the end of its last chunk.
+* Chunks are preferred in slot (start-time) order. A chunk may begin only
+  when (a) the processor is free, (b) its slot start has been reached, and
+  (c) — for the task's *first* chunk — the task's *gate* is open: every
+  prerequisite token has been delivered.
+* Tokens model data availability: ``("done", job, task)`` for completion of
+  a local predecessor and ``("result", job, task)`` for the arrival of a
+  remote predecessor's result message. The protocol layer registers gates at
+  commit time and delivers result tokens on message arrival.
+* If the slot-order head is not ready, the executor is **work-conserving**:
+  it runs the earliest *ready* chunk whose slot start has passed instead of
+  idling. Combined with jobs being mutually independent DAGs this rules out
+  cross-site execution deadlocks.
+* A chunk runs non-preemptively for exactly its reserved duration. Actual
+  start/end are recorded next to the reserved ones; ``lateness > 0`` means
+  the ACS-diameter over-estimate was too optimistic for this instance — the
+  effective-guarantee-ratio metric (E1) is built from these records.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from repro.errors import SchedulingError
+from repro.sched.intervals import Reservation
+from repro.sched.plan import SchedulingPlan
+from repro.simnet.engine import Simulator
+from repro.types import EPS, JobId, TaskId, Time
+
+Key = Tuple[JobId, TaskId]
+Token = Tuple[str, JobId, TaskId]
+CompletionCallback = Callable[[JobId, TaskId, Time], None]
+
+
+@dataclass
+class ExecutionRecord:
+    """Reserved vs actual execution of one task (possibly chunked)."""
+
+    chunks: List[Reservation]
+    #: (actual_start, actual_end) per executed chunk, in execution order
+    actual: List[Tuple[Time, Time]] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.chunks:
+            raise SchedulingError("execution record needs at least one chunk")
+        self.chunks = sorted(self.chunks, key=lambda r: r.start)
+
+    @property
+    def done(self) -> bool:
+        return len(self.actual) == len(self.chunks)
+
+    @property
+    def started(self) -> bool:
+        return bool(self.actual)
+
+    @property
+    def next_chunk(self) -> Reservation:
+        return self.chunks[len(self.actual)]
+
+    @property
+    def actual_start(self) -> Optional[Time]:
+        return self.actual[0][0] if self.actual else None
+
+    @property
+    def actual_end(self) -> Optional[Time]:
+        if not self.done:
+            return None
+        return self.actual[-1][1]
+
+    @property
+    def reservation(self) -> Reservation:
+        """The first (for single-chunk tasks: the only) reservation."""
+        return self.chunks[0]
+
+    @property
+    def lateness(self) -> Time:
+        """actual end - reserved end of the final chunk (positive = slipped)."""
+        if not self.done:
+            raise SchedulingError("task not finished yet")
+        return self.actual[-1][1] - self.chunks[-1].end
+
+
+class PlanExecutor:
+    """Executes one site's plan on the simulator.
+
+    Parameters
+    ----------
+    sim:
+        The event loop.
+    plan:
+        The site's plan; the executor learns about newly committed
+        reservations via :meth:`notify_committed`.
+    """
+
+    def __init__(self, sim: Simulator, plan: SchedulingPlan) -> None:
+        self.sim = sim
+        self.plan = plan
+        self.on_complete: List[CompletionCallback] = []
+        self._records: Dict[Key, ExecutionRecord] = {}
+        #: key -> outstanding prerequisite tokens (first chunk only)
+        self._gates: Dict[Key, Set[Token]] = {}
+        #: tokens delivered before their gate was registered
+        self._early_tokens: Set[Token] = set()
+        self._running: Optional[Key] = None
+        self._timer_version = 0
+
+    # -- commit-time API (called by protocol layers) -------------------------
+
+    def notify_committed(
+        self,
+        reservations: List[Reservation],
+        gates: Optional[Dict[Key, Set[Token]]] = None,
+    ) -> None:
+        """Register freshly committed reservations and their gates.
+
+        Reservations sharing a (job, task) key are the chunks of one
+        preemptively-split task. ``gates[key]`` is the token set that must
+        arrive before the task may start; missing keys mean "no
+        prerequisites". Tokens that already arrived (early results) are
+        discounted immediately.
+        """
+        by_key: Dict[Key, List[Reservation]] = {}
+        for r in reservations:
+            by_key.setdefault(r.key(), []).append(r)
+        for key, chunks in by_key.items():
+            if key in self._records:
+                raise SchedulingError(
+                    f"site {self.plan.site}: duplicate execution record {key}"
+                )
+            self._records[key] = ExecutionRecord(chunks)
+            pending = set(gates.get(key, ())) if gates else set()
+            pending -= self._early_tokens
+            self._gates[key] = pending
+        self._wake()
+
+    def deliver_token(self, token: Token) -> None:
+        """Deliver a prerequisite token (e.g. a remote result arrived)."""
+        hit = False
+        for pending in self._gates.values():
+            if token in pending:
+                pending.discard(token)
+                hit = True
+        if not hit:
+            # Remember for gates registered later (message raced the commit).
+            self._early_tokens.add(token)
+        self._wake()
+
+    # -- queries ---------------------------------------------------------------
+
+    def record(self, job: JobId, task: TaskId) -> ExecutionRecord:
+        try:
+            return self._records[(job, task)]
+        except KeyError:
+            raise SchedulingError(
+                f"site {self.plan.site}: no execution record for job {job} task {task!r}"
+            ) from None
+
+    def records(self) -> Dict[Key, ExecutionRecord]:
+        return dict(self._records)
+
+    def busy(self) -> bool:
+        return self._running is not None
+
+    # -- engine ------------------------------------------------------------------
+
+    def _candidates(self) -> List[Tuple[Time, str, Key]]:
+        """(next chunk start, tiebreak, key) of unfinished tasks, slot order."""
+        out = [
+            (rec.next_chunk.start, repr(k), k)
+            for k, rec in self._records.items()
+            if not rec.done
+        ]
+        out.sort()
+        return out
+
+    def _gate_open(self, key: Key) -> bool:
+        # Gates guard only the first chunk: once a task started, its inputs
+        # were available.
+        if self._records[key].started:
+            return True
+        return not self._gates.get(key)
+
+    def _wake(self) -> None:
+        if self._running is not None:
+            return
+        now = self.sim.now
+        cands = self._candidates()
+        if not cands:
+            return
+        # Prefer slot order; fall back to earliest ready whose start passed.
+        runnable: Optional[Key] = None
+        head_start, _, head = cands[0]
+        if head_start <= now + EPS and self._gate_open(head):
+            runnable = head
+        else:
+            for start, _, k in cands[1:]:
+                if start <= now + EPS and self._gate_open(k):
+                    runnable = k
+                    break
+        if runnable is not None:
+            self._start(runnable)
+            return
+        # Nothing ready now: arm a timer for the next slot start in the
+        # future (gate deliveries re-wake us independently).
+        future_starts = [start for start, _, _ in cands if start > now + EPS]
+        if future_starts:
+            self._timer_version += 1
+            version = self._timer_version
+            self.sim.schedule_at(min(future_starts), lambda: self._on_timer(version))
+
+    def _on_timer(self, version: int) -> None:
+        if version == self._timer_version and self._running is None:
+            self._wake()
+
+    def _start(self, key: Key) -> None:
+        rec = self._records[key]
+        chunk = rec.next_chunk
+        start = self.sim.now
+        self._running = key
+        self.sim.schedule(chunk.duration, lambda: self._finish(key, start))
+
+    def _finish(self, key: Key, started_at: Time) -> None:
+        rec = self._records[key]
+        rec.actual.append((started_at, self.sim.now))
+        self._running = None
+        if rec.done:
+            job, task = key
+            # Completion of a local task satisfies local "done" gates.
+            self.deliver_token(("done", job, task))
+            for cb in self.on_complete:
+                cb(job, task, self.sim.now)
+        self._wake()
+
+    # -- maintenance ----------------------------------------------------------
+
+    def prune_done_before(self, time: Time) -> int:
+        """Forget finished records (and their tokens) older than ``time``."""
+        old = [
+            k
+            for k, rec in self._records.items()
+            if rec.done and rec.actual_end is not None and rec.actual_end <= time
+        ]
+        pruned_jobs = {k[0] for k in old}
+        for k in old:
+            del self._records[k]
+            self._gates.pop(k, None)
+        # Tokens belonging to pruned jobs can no longer gate anything:
+        # all of a job's gates are registered atomically at commit time.
+        self._early_tokens = {
+            t for t in self._early_tokens if t[1] not in pruned_jobs
+        }
+        return len(old)

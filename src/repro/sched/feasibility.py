@@ -1,0 +1,155 @@
+"""Non-preemptive insertion-based feasibility tests.
+
+Two tests back the protocol:
+
+* :func:`try_schedule_dag_locally` — the §5 **local test**: schedule the
+  whole DAG on this one site, in topological order, each task at the
+  earliest gap after its predecessors, and accept iff everything finishes by
+  the job deadline. (On a single site there are no communication delays.)
+
+* :func:`try_schedule_window_tasks` — the §10 **local satisfiability** test
+  used during Trial-Mapping validation: given a set of tasks with absolute
+  windows ``[r(t), d(t)]`` and durations ``c(t)``, find non-overlapping
+  slots inside the windows. Tasks are inserted in EDF order (deadline, then
+  release, then id) — optimal for the nested/agreeable windows the
+  adjustment step produces, and the natural heuristic otherwise.
+
+Both return concrete :class:`Reservation` lists (or ``None``) so a caller
+can *commit* exactly what was tested — this is how validation endorsements
+stay valid until execution (see DESIGN.md "Lock semantics").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.graphs.dag import Dag
+from repro.sched.intervals import BusyTimeline, Reservation
+from repro.types import EPS, JobId, TaskId, Time
+
+
+@dataclass(frozen=True)
+class WindowTask:
+    """A task with an absolute execution window (validation input).
+
+    ``release``/``deadline`` are the adjusted r(t), d(t) of the
+    Trial-Mapping; ``duration`` is the raw complexity c(t) (execution on an
+    identical machine takes c, the surplus scaling was only a mapping-time
+    estimate).
+    """
+
+    job: JobId
+    task: TaskId
+    duration: Time
+    release: Time
+    deadline: Time
+
+    def __post_init__(self) -> None:
+        if self.duration <= 0:
+            raise ValueError(f"task {self.task!r}: duration must be > 0")
+
+    @property
+    def laxity(self) -> Time:
+        return (self.deadline - self.release) - self.duration
+
+
+def try_schedule_dag_locally(
+    timeline: BusyTimeline,
+    dag: Dag,
+    job: JobId,
+    release: Time,
+    deadline: Time,
+    not_before: Time,
+) -> Optional[List[Reservation]]:
+    """The §5 local test. Returns reservations or ``None`` if infeasible.
+
+    Tasks are placed in (deterministic) topological order; each starts no
+    earlier than ``max(release, not_before, finish of its predecessors)``
+    at the earliest gap of the (scratch) timeline, and the whole job must
+    finish by ``deadline``. The input ``timeline`` is not modified.
+    """
+    scratch = timeline.copy()
+    finish: Dict[TaskId, Time] = {}
+    out: List[Reservation] = []
+    floor = max(release, not_before)
+    for tid in dag.topological_order():
+        ready = floor
+        for p in dag.predecessors(tid):
+            ready = max(ready, finish[p])
+        c = dag.complexity(tid)
+        start = scratch.earliest_fit(c, ready, deadline)
+        if start is None:
+            return None
+        res = Reservation(start, start + c, job, tid, release=ready, deadline=deadline)
+        scratch.reserve(res)
+        finish[tid] = start + c
+        out.append(res)
+    return out
+
+
+def edf_order(tasks: Sequence[WindowTask]) -> List[WindowTask]:
+    """Deterministic EDF ordering: (deadline, release, task id repr)."""
+    return sorted(tasks, key=lambda t: (t.deadline, t.release, repr(t.task)))
+
+
+def llf_order(tasks: Sequence[WindowTask]) -> List[WindowTask]:
+    """Least-laxity-first ordering: tightest windows placed first.
+
+    An alternative §10 insertion policy: tasks with the least slack get
+    first pick of the gaps, which can rescue sets where a tight window
+    hides behind an early deadline. Deterministic tie-breaks as EDF.
+    """
+    return sorted(tasks, key=lambda t: (t.laxity, t.deadline, repr(t.task)))
+
+
+_ORDERS = {"edf": edf_order, "llf": llf_order}
+
+
+def try_schedule_window_tasks(
+    timeline: BusyTimeline,
+    tasks: Sequence[WindowTask],
+    not_before: Time,
+    order: str = "edf",
+) -> Optional[List[Reservation]]:
+    """The §10 local-satisfiability test. Returns slots or ``None``.
+
+    Every task must fit entirely inside ``[max(release, not_before),
+    deadline]``. Insertion order is ``"edf"`` (default) or ``"llf"``;
+    the input timeline is not modified.
+    """
+    try:
+        ordering = _ORDERS[order]
+    except KeyError:
+        raise ValueError(f"unknown insertion order {order!r}; known: {sorted(_ORDERS)}") from None
+    scratch = timeline.copy()
+    out: List[Reservation] = []
+    for t in ordering(tasks):
+        lo = max(t.release, not_before)
+        start = scratch.earliest_fit(t.duration, lo, t.deadline)
+        if start is None:
+            return None
+        res = Reservation(
+            start, start + t.duration, t.job, t.task, release=t.release, deadline=t.deadline
+        )
+        scratch.reserve(res)
+        out.append(res)
+    return out
+
+
+def slack_profile(
+    timeline: BusyTimeline, tasks: Sequence[WindowTask], not_before: Time
+) -> Optional[List[Tuple[TaskId, Time]]]:
+    """Per-task slack (window end minus actual finish) of the EDF insertion.
+
+    Diagnostic companion of :func:`try_schedule_window_tasks`; ``None`` when
+    infeasible. Used by the ablation benches to quantify how much margin the
+    ACS-diameter over-estimation leaves.
+    """
+    slots = try_schedule_window_tasks(timeline, tasks, not_before)
+    if slots is None:
+        return None
+    by_key = {(r.job, r.task): r for r in slots}
+    return [
+        (t.task, t.deadline - by_key[(t.job, t.task)].end) for t in edf_order(tasks)
+    ]

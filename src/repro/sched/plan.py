@@ -1,0 +1,117 @@
+"""The per-site scheduling plan.
+
+Wraps a :class:`~repro.sched.intervals.BusyTimeline` with job-level
+bookkeeping and the paper's *surplus* measure (§2): the idle fraction of an
+observation window. We read the window forward from "now" — admission
+decisions care about capacity that still exists, and a forward window makes
+the surplus of an empty site exactly 1.0 as the worked example assumes
+(I=0.5 means "half the upcoming window is already committed").
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import SchedulingError
+from repro.sched.intervals import BusyTimeline, Reservation
+from repro.types import EPS, JobId, SiteId, TaskId, Time
+
+
+class SchedulingPlan:
+    """Accepted work of one site's compute processor.
+
+    Parameters
+    ----------
+    site:
+        Owning site id (diagnostics only).
+    surplus_window:
+        Length ``W`` of the observation window for surplus computation.
+    """
+
+    def __init__(self, site: SiteId, surplus_window: Time = 200.0) -> None:
+        if surplus_window <= 0:
+            raise SchedulingError(f"surplus_window must be > 0, got {surplus_window}")
+        self.site = site
+        self.surplus_window = surplus_window
+        self.timeline = BusyTimeline()
+        #: job -> list of its reservations (insertion order)
+        self._jobs: Dict[JobId, List[Reservation]] = {}
+
+    # -- surplus (paper §2) ----------------------------------------------------
+
+    def surplus(self, now: Time, window: Optional[Time] = None) -> float:
+        """Idle fraction of ``[now, now + W]``; 1.0 = fully idle.
+
+        Clamped to [0, 1]; an over-committed plan (possible only through
+        bugs) would raise in ``reserve`` long before this could go negative.
+        """
+        w = self.surplus_window if window is None else window
+        idle = self.timeline.idle_time(now, now + w)
+        return min(1.0, max(0.0, idle / w))
+
+    def busyness(self, now: Time, window: Optional[Time] = None) -> float:
+        """``1 - surplus``; the §13 laxity-dispatching weight."""
+        return 1.0 - self.surplus(now, window)
+
+    # -- mutation ---------------------------------------------------------------
+
+    def commit(self, reservations: List[Reservation]) -> None:
+        """Insert a batch of reservations atomically.
+
+        Either all succeed or the plan is left untouched (the batch is
+        pre-checked on a scratch copy, then applied).
+        """
+        scratch = self.timeline.copy()
+        for r in reservations:
+            scratch.reserve(r)
+        # Pre-check passed; now apply for real.
+        for r in reservations:
+            self.timeline.reserve(r)
+            self._jobs.setdefault(r.job, []).append(r)
+
+    def cancel_job(self, job: JobId) -> int:
+        """Remove all reservations of ``job``; returns how many."""
+        self._jobs.pop(job, None)
+        return self.timeline.release_key(job)
+
+    def prune_before(self, time: Time) -> int:
+        """Forget finished history before ``time`` (memory hygiene)."""
+        n = self.timeline.prune_before(time)
+        if n:
+            for job in list(self._jobs):
+                kept = [r for r in self._jobs[job] if r.end > time + EPS]
+                if kept:
+                    self._jobs[job] = kept
+                else:
+                    del self._jobs[job]
+        return n
+
+    # -- queries ------------------------------------------------------------------
+
+    def job_reservations(self, job: JobId) -> List[Reservation]:
+        return list(self._jobs.get(job, ()))
+
+    def jobs(self) -> List[JobId]:
+        return sorted(self._jobs)
+
+    def job_completion_time(self, job: JobId) -> Time:
+        rs = self._jobs.get(job)
+        if not rs:
+            raise SchedulingError(f"site {self.site}: no reservations for job {job}")
+        return max(r.end for r in rs)
+
+    def load_between(self, start: Time, end: Time) -> float:
+        """Busy fraction of [start, end) — the utilisation metric."""
+        if end <= start + EPS:
+            return 0.0
+        return self.timeline.busy_time(start, end) / (end - start)
+
+    def scratch_timeline(self) -> BusyTimeline:
+        """A private copy for what-if feasibility tests."""
+        return self.timeline.copy()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SchedulingPlan(site={self.site}, jobs={len(self._jobs)}, "
+            f"reservations={len(self.timeline)})"
+        )

@@ -1,0 +1,38 @@
+"""Deterministic discrete-event network simulation substrate.
+
+The paper assumes an arbitrary connected network of sites with bidirectional
+weighted links (communication delays), faithful loss-less order-preserving
+links and faultless sites, each site having one management processor (runs
+the protocol) and one compute processor (runs tasks). This package is that
+testbed:
+
+* :mod:`repro.simnet.engine` — heap-based event loop with total (time,
+  priority, sequence) ordering, hence bit-for-bit reproducible runs.
+* :mod:`repro.simnet.message`/:mod:`link`/:mod:`network` — typed messages,
+  FIFO links with per-link delay, physical adjacent-only delivery (multi-hop
+  routing is done *by the protocol*, as in the real system).
+* :mod:`repro.simnet.site` — base class wiring a site's handler table to the
+  network, with optional per-message management-processor overhead.
+* :mod:`repro.simnet.topology` — generators for rings, lines, stars, trees,
+  grids, tori, hypercubes, Erdős–Rényi, Barabási–Albert, random-geometric
+  and Watts–Strogatz graphs with configurable delay models.
+* :mod:`repro.simnet.trace` — structured tracing + message accounting used
+  by every benchmark.
+"""
+
+from repro.simnet.engine import Simulator
+from repro.simnet.message import Message
+from repro.simnet.network import Network
+from repro.simnet.site import SiteBase
+from repro.simnet.topology import Topology, topology_factory
+from repro.simnet.trace import Tracer
+
+__all__ = [
+    "Simulator",
+    "Message",
+    "Network",
+    "SiteBase",
+    "Topology",
+    "topology_factory",
+    "Tracer",
+]

@@ -1,0 +1,160 @@
+"""Discrete-event simulation engine.
+
+A minimal, fast, deterministic event loop:
+
+* events are ``(time, priority, seq, callback)`` tuples in a binary heap;
+* ``seq`` is a global monotonically increasing counter, so events with equal
+  time and priority fire in scheduling order — together with seeded RNGs
+  this makes every simulation bit-for-bit reproducible;
+* callbacks are plain callables (no generator/coroutine machinery — profiling
+  early prototypes showed the callback style is ~3x faster in CPython for
+  our message-dominated workloads, and the protocol state machines read more
+  naturally as handler methods anyway).
+
+The engine knows nothing about networks or scheduling; it is reused by the
+routing layer tests directly.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable, List, Optional, Tuple
+
+from repro.errors import SimulationError
+from repro.types import Time
+
+#: Default priority for ordinary events. Lower fires first at equal times.
+PRIORITY_NORMAL = 0
+#: Message deliveries use a slightly later priority than timers so that a
+#: timer set "for now" observes pre-delivery state (matches how the protocol
+#: pseudo-code reads).
+PRIORITY_DELIVERY = 10
+#: End-of-run bookkeeping (metric flushes) fires after everything else.
+PRIORITY_LATE = 100
+
+
+class _Event:
+    """Heap entry. A dedicated class (vs tuple) lets us cancel in O(1)."""
+
+    __slots__ = ("time", "priority", "seq", "callback", "cancelled")
+
+    def __init__(self, time: Time, priority: int, seq: int, callback: Callable[[], None]):
+        self.time = time
+        self.priority = priority
+        self.seq = seq
+        self.callback = callback
+        self.cancelled = False
+
+    def __lt__(self, other: "_Event") -> bool:
+        return (self.time, self.priority, self.seq) < (other.time, other.priority, other.seq)
+
+
+class Simulator:
+    """The event loop.
+
+    Typical use::
+
+        sim = Simulator()
+        sim.schedule(1.5, lambda: print("at t=1.5"))
+        sim.run()
+    """
+
+    def __init__(self) -> None:
+        self._heap: List[_Event] = []
+        self._seq = itertools.count()
+        self._now: Time = 0.0
+        self._running = False
+        self._stopped = False
+        self.events_processed = 0
+
+    # -- time --------------------------------------------------------------
+
+    @property
+    def now(self) -> Time:
+        """Current simulated time."""
+        return self._now
+
+    # -- scheduling --------------------------------------------------------
+
+    def schedule(
+        self, delay: Time, callback: Callable[[], None], priority: int = PRIORITY_NORMAL
+    ) -> _Event:
+        """Schedule ``callback`` to run ``delay`` time units from now.
+
+        Returns a handle usable with :meth:`cancel`.
+        """
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        return self.schedule_at(self._now + delay, callback, priority)
+
+    def schedule_at(
+        self, time: Time, callback: Callable[[], None], priority: int = PRIORITY_NORMAL
+    ) -> _Event:
+        """Schedule ``callback`` at absolute simulated time ``time``."""
+        if time < self._now:
+            raise SimulationError(f"cannot schedule in the past: {time} < now {self._now}")
+        ev = _Event(time, priority, next(self._seq), callback)
+        heapq.heappush(self._heap, ev)
+        return ev
+
+    @staticmethod
+    def cancel(event: _Event) -> None:
+        """Cancel a pending event (no-op if it already fired)."""
+        event.cancelled = True
+
+    # -- running -----------------------------------------------------------
+
+    def run(self, until: Optional[Time] = None, max_events: Optional[int] = None) -> Time:
+        """Process events until the heap drains, ``until`` is passed, or
+        ``max_events`` have fired. Returns the final simulated time.
+
+        ``until`` is inclusive: events *at* ``until`` still fire; the clock
+        is left at ``until`` if the run was time-bounded.
+        """
+        if self._running:
+            raise SimulationError("run() is not reentrant")
+        self._running = True
+        self._stopped = False
+        processed = 0
+        try:
+            while self._heap:
+                if self._stopped:
+                    break
+                ev = self._heap[0]
+                if until is not None and ev.time > until:
+                    self._now = until
+                    break
+                heapq.heappop(self._heap)
+                if ev.cancelled:
+                    continue
+                if ev.time < self._now:
+                    raise SimulationError(
+                        f"event time {ev.time} precedes clock {self._now} (heap corruption)"
+                    )
+                self._now = ev.time
+                ev.callback()
+                processed += 1
+                self.events_processed += 1
+                if max_events is not None and processed >= max_events:
+                    break
+            else:
+                if until is not None:
+                    self._now = max(self._now, until)
+        finally:
+            self._running = False
+        return self._now
+
+    def stop(self) -> None:
+        """Stop the loop after the current callback returns."""
+        self._stopped = True
+
+    def pending(self) -> int:
+        """Number of not-yet-cancelled events still queued."""
+        return sum(1 for ev in self._heap if not ev.cancelled)
+
+    def peek_next_time(self) -> Optional[Time]:
+        """Time of the next live event, or None if the heap is empty."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].time if self._heap else None

@@ -1,0 +1,80 @@
+"""Typed protocol messages.
+
+Messages carry a string ``mtype`` tag, a free-form payload dict, and routing
+metadata. Every physical transmission goes between *adjacent* sites; the
+protocol layer forwards multi-hop messages itself using its routing tables
+(``final_dst``/``origin`` support that). ``hops`` counts physical traversals
+for the communication-overhead metrics (experiment E2).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+from repro.types import SiteId
+
+_msg_counter = itertools.count()
+
+
+@dataclass
+class Message:
+    """One protocol message.
+
+    Attributes
+    ----------
+    mtype:
+        Message type tag, e.g. ``"ENROLL"`` or ``"ROUTING_UPDATE"``.
+    src:
+        Physical sender of this hop (adjacent to ``dst``).
+    dst:
+        Physical receiver of this hop.
+    origin:
+        Site that originated the (possibly multi-hop) message.
+    final_dst:
+        Ultimate destination; ``None`` means the physical receiver is final.
+    payload:
+        Free-form content. Treated as immutable by convention; forwarding
+        re-uses the same dict.
+    size:
+        Abstract message size, used only by the §13 data-volume delay model
+        (delay += size / link throughput when enabled).
+    hops:
+        Physical hops travelled so far (incremented by the network).
+    uid:
+        Globally unique id (diagnostics / tracing).
+    """
+
+    mtype: str
+    src: SiteId
+    dst: SiteId
+    origin: SiteId
+    final_dst: Optional[SiteId] = None
+    payload: Dict[str, Any] = field(default_factory=dict)
+    size: float = 1.0
+    hops: int = 0
+    uid: int = field(default_factory=lambda: next(_msg_counter))
+
+    def forwarded(self, new_src: SiteId, new_dst: SiteId) -> "Message":
+        """A copy of this message for the next physical hop."""
+        return Message(
+            mtype=self.mtype,
+            src=new_src,
+            dst=new_dst,
+            origin=self.origin,
+            final_dst=self.final_dst,
+            payload=self.payload,
+            size=self.size,
+            hops=self.hops,  # network increments per transmission
+            uid=self.uid,
+        )
+
+    @property
+    def destination(self) -> SiteId:
+        """Ultimate destination (``final_dst`` or the physical ``dst``)."""
+        return self.dst if self.final_dst is None else self.final_dst
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        fd = "" if self.final_dst is None else f"->{self.final_dst}"
+        return f"<{self.mtype} {self.src}->{self.dst}{fd} #{self.uid}>"

@@ -1,0 +1,181 @@
+"""The network: sites + links + physical message delivery.
+
+The network only delivers between *adjacent* sites — exactly the power the
+distributed algorithm has. Multi-hop communication is implemented by the
+protocol layers (sites forward using their routing tables), so hop counts
+and message totals in the benchmarks reflect real traffic.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Dict, Iterable, List, Optional, Tuple
+
+from repro.errors import SimulationError, TopologyError
+from repro.simnet.engine import PRIORITY_DELIVERY, Simulator
+from repro.simnet.link import Link
+from repro.simnet.message import Message
+from repro.simnet.trace import MessageStats, Tracer
+from repro.types import SiteId, Time
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.simnet.site import SiteBase
+
+
+class Network:
+    """Simulated communication network.
+
+    Parameters
+    ----------
+    sim:
+        The event loop that drives deliveries.
+    tracer:
+        Optional tracer; a disabled one is created if omitted.
+    """
+
+    def __init__(self, sim: Simulator, tracer: Optional[Tracer] = None) -> None:
+        self.sim = sim
+        self.tracer = tracer if tracer is not None else Tracer(enabled=False)
+        self.stats = MessageStats()
+        self._sites: Dict[SiteId, "SiteBase"] = {}
+        self._links: Dict[Tuple[SiteId, SiteId], Link] = {}
+        self._adj: Dict[SiteId, Dict[SiteId, Link]] = {}
+
+    # -- construction --------------------------------------------------
+
+    def add_site(self, site: "SiteBase") -> None:
+        if site.sid in self._sites:
+            raise TopologyError(f"duplicate site id {site.sid}")
+        self._sites[site.sid] = site
+        self._adj.setdefault(site.sid, {})
+
+    def add_link(self, u: SiteId, v: SiteId, delay: Time, throughput: Optional[float] = None) -> Link:
+        if u not in self._sites or v not in self._sites:
+            raise TopologyError(f"link ({u},{v}) references unknown site")
+        link = Link(u, v, delay, throughput)
+        if link.key in self._links:
+            raise TopologyError(f"duplicate link {link.key}")
+        self._links[link.key] = link
+        self._adj[u][v] = link
+        self._adj[v][u] = link
+        return link
+
+    # -- introspection ---------------------------------------------------
+
+    @property
+    def sites(self) -> Dict[SiteId, "SiteBase"]:
+        return self._sites
+
+    def site(self, sid: SiteId) -> "SiteBase":
+        try:
+            return self._sites[sid]
+        except KeyError:
+            raise TopologyError(f"unknown site {sid}") from None
+
+    def site_ids(self) -> List[SiteId]:
+        return sorted(self._sites)
+
+    def neighbors(self, sid: SiteId) -> List[SiteId]:
+        """Adjacent site ids, sorted for determinism."""
+        return sorted(self._adj[sid])
+
+    def link(self, u: SiteId, v: SiteId) -> Link:
+        try:
+            return self._adj[u][v]
+        except KeyError:
+            raise TopologyError(f"no link between {u} and {v}") from None
+
+    def link_delay(self, u: SiteId, v: SiteId) -> Time:
+        """Propagation delay of the (existing) link u-v."""
+        return self.link(u, v).delay
+
+    def links(self) -> Iterable[Link]:
+        return self._links.values()
+
+    def size(self) -> int:
+        return len(self._sites)
+
+    # -- delivery --------------------------------------------------------
+
+    def transmit(self, msg: Message) -> None:
+        """Send ``msg`` over the physical link ``msg.src -> msg.dst``.
+
+        Arrival is scheduled after the link delay; the receiving site's
+        :meth:`SiteBase.receive` runs at arrival (plus any management
+        processing overhead the site models).
+        """
+        if msg.dst == msg.src:
+            raise SimulationError(f"message to self: {msg!r}")
+        link = self.link(msg.src, msg.dst)
+        msg.hops += 1
+        self.stats.record(msg.mtype, msg.size)
+        arrival = link.delivery_time(self.sim.now, msg.size, msg.dst)
+        receiver = self._sites[msg.dst]
+        self.tracer.emit(self.sim.now, "net.send", msg.src, mtype=msg.mtype, dst=msg.dst, uid=msg.uid)
+        self.sim.schedule_at(arrival, lambda m=msg, r=receiver: r.receive(m), PRIORITY_DELIVERY)
+
+    def send_adjacent(
+        self,
+        src: SiteId,
+        dst: SiteId,
+        mtype: str,
+        payload: Optional[dict] = None,
+        size: float = 1.0,
+        origin: Optional[SiteId] = None,
+        final_dst: Optional[SiteId] = None,
+    ) -> Message:
+        """Convenience constructor + transmit for a single-hop message."""
+        msg = Message(
+            mtype=mtype,
+            src=src,
+            dst=dst,
+            origin=src if origin is None else origin,
+            final_dst=final_dst,
+            payload=payload if payload is not None else {},
+            size=size,
+        )
+        self.transmit(msg)
+        return msg
+
+    # -- reference (oracle) computations ----------------------------------
+    #
+    # These are *not* available to protocol code (which must rely on its
+    # routing tables); tests and metrics use them as ground truth.
+
+    def dijkstra_from(self, src: SiteId) -> Dict[SiteId, Time]:
+        """Exact single-source delay distances (oracle, for verification)."""
+        import heapq
+
+        dist: Dict[SiteId, Time] = {src: 0.0}
+        heap: List[Tuple[Time, SiteId]] = [(0.0, src)]
+        done = set()
+        while heap:
+            d, u = heapq.heappop(heap)
+            if u in done:
+                continue
+            done.add(u)
+            for v, link in self._adj[u].items():
+                nd = d + link.delay
+                if v not in dist or nd < dist[v] - 1e-15:
+                    dist[v] = nd
+                    heapq.heappush(heap, (nd, v))
+        return dist
+
+    def hop_distances_from(self, src: SiteId) -> Dict[SiteId, int]:
+        """BFS hop counts from ``src`` (oracle)."""
+        from collections import deque
+
+        hops = {src: 0}
+        q = deque([src])
+        while q:
+            u = q.popleft()
+            for v in self._adj[u]:
+                if v not in hops:
+                    hops[v] = hops[u] + 1
+                    q.append(v)
+        return hops
+
+    def is_connected(self) -> bool:
+        if not self._sites:
+            return True
+        first = next(iter(self._sites))
+        return len(self.hop_distances_from(first)) == len(self._sites)

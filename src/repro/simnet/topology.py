@@ -1,0 +1,408 @@
+"""Network topology generators.
+
+The paper targets *arbitrary* connected graphs with weighted bidirectional
+links whose delays need not satisfy the triangle inequality. These
+generators cover the standard families used in distributed-systems
+evaluations. Each returns a :class:`Topology` — a plain description
+(site count + weighted edge list) that :func:`build_network` turns into a
+live :class:`~repro.simnet.network.Network` with whatever site class an
+experiment uses.
+
+All randomness flows through an explicit ``numpy.random.Generator``;
+generators that can produce disconnected graphs repair connectivity
+deterministically by linking consecutive components.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import TopologyError
+from repro.simnet.engine import Simulator
+from repro.simnet.network import Network
+from repro.simnet.trace import Tracer
+from repro.types import SiteId, Time
+
+
+@dataclass(frozen=True)
+class Topology:
+    """A weighted undirected graph description.
+
+    ``edges`` holds ``(u, v, delay)`` with ``u < v`` and no duplicates.
+    """
+
+    n: int
+    edges: Tuple[Tuple[SiteId, SiteId, Time], ...]
+    name: str = "topology"
+
+    def __post_init__(self) -> None:
+        seen = set()
+        for u, v, d in self.edges:
+            if not (0 <= u < self.n and 0 <= v < self.n):
+                raise TopologyError(f"{self.name}: edge ({u},{v}) out of range")
+            if u >= v:
+                raise TopologyError(f"{self.name}: edge ({u},{v}) not canonical (u<v)")
+            if (u, v) in seen:
+                raise TopologyError(f"{self.name}: duplicate edge ({u},{v})")
+            if d < 0:
+                raise TopologyError(f"{self.name}: negative delay on ({u},{v})")
+            seen.add((u, v))
+
+    def adjacency(self) -> Dict[SiteId, Dict[SiteId, Time]]:
+        adj: Dict[SiteId, Dict[SiteId, Time]] = {i: {} for i in range(self.n)}
+        for u, v, d in self.edges:
+            adj[u][v] = d
+            adj[v][u] = d
+        return adj
+
+    def is_connected(self) -> bool:
+        if self.n == 0:
+            return True
+        adj = self.adjacency()
+        seen = {0}
+        stack = [0]
+        while stack:
+            u = stack.pop()
+            for v in adj[u]:
+                if v not in seen:
+                    seen.add(v)
+                    stack.append(v)
+        return len(seen) == self.n
+
+    def degree_stats(self) -> Tuple[float, int, int]:
+        """(mean, min, max) degree — used in experiment reports."""
+        deg = [0] * self.n
+        for u, v, _ in self.edges:
+            deg[u] += 1
+            deg[v] += 1
+        return (sum(deg) / max(1, self.n), min(deg), max(deg))
+
+
+# ---------------------------------------------------------------------------
+# delay models
+# ---------------------------------------------------------------------------
+
+
+def _uniform_delays(rng: np.random.Generator, m: int, delay_range: Tuple[float, float]) -> np.ndarray:
+    lo, hi = delay_range
+    if lo < 0 or hi < lo:
+        raise TopologyError(f"invalid delay range {delay_range}")
+    return rng.uniform(lo, hi, size=m)
+
+
+def _repair_connectivity(
+    n: int, edges: set, rng: np.random.Generator, delay_range: Tuple[float, float]
+) -> None:
+    """Join components with extra edges (mutates ``edges``)."""
+    parent = list(range(n))
+
+    def find(x: int) -> int:
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    def union(a: int, b: int) -> None:
+        parent[find(a)] = find(b)
+
+    for u, v in edges:
+        union(u, v)
+    roots = sorted({find(i) for i in range(n)})
+    lo, hi = delay_range
+    while len(roots) > 1:
+        a, b = roots[0], roots[1]
+        edges.add((min(a, b), max(a, b)))
+        union(a, b)
+        roots = sorted({find(i) for i in range(n)})
+
+
+def _finish(
+    name: str,
+    n: int,
+    pairs: Sequence[Tuple[int, int]],
+    rng: np.random.Generator,
+    delay_range: Tuple[float, float],
+) -> Topology:
+    canonical = sorted({(min(u, v), max(u, v)) for u, v in pairs if u != v})
+    delays = _uniform_delays(rng, len(canonical), delay_range)
+    edges = tuple((u, v, float(d)) for (u, v), d in zip(canonical, delays))
+    topo = Topology(n, edges, name)
+    if not topo.is_connected():
+        raise TopologyError(f"{name}: generated graph is disconnected (internal error)")
+    return topo
+
+
+# ---------------------------------------------------------------------------
+# generators
+# ---------------------------------------------------------------------------
+
+
+def line(n: int, rng: Optional[np.random.Generator] = None, delay_range=(1.0, 1.0)) -> Topology:
+    """Path graph 0-1-...-(n-1) — worst-case diameter."""
+    if n < 1:
+        raise TopologyError("line needs n >= 1")
+    rng = rng or np.random.default_rng(0)
+    return _finish(f"line-{n}", n, [(i, i + 1) for i in range(n - 1)], rng, delay_range)
+
+
+def ring(n: int, rng: Optional[np.random.Generator] = None, delay_range=(1.0, 1.0)) -> Topology:
+    """Cycle of n sites."""
+    if n < 3:
+        raise TopologyError("ring needs n >= 3")
+    rng = rng or np.random.default_rng(0)
+    pairs = [(i, (i + 1) % n) for i in range(n)]
+    return _finish(f"ring-{n}", n, pairs, rng, delay_range)
+
+
+def star(n: int, rng: Optional[np.random.Generator] = None, delay_range=(1.0, 1.0)) -> Topology:
+    """Hub-and-spoke: site 0 is the hub."""
+    if n < 2:
+        raise TopologyError("star needs n >= 2")
+    rng = rng or np.random.default_rng(0)
+    return _finish(f"star-{n}", n, [(0, i) for i in range(1, n)], rng, delay_range)
+
+
+def complete(n: int, rng: Optional[np.random.Generator] = None, delay_range=(1.0, 1.0)) -> Topology:
+    """Complete graph (small n only; useful in unit tests)."""
+    if n < 2:
+        raise TopologyError("complete needs n >= 2")
+    rng = rng or np.random.default_rng(0)
+    pairs = [(i, j) for i in range(n) for j in range(i + 1, n)]
+    return _finish(f"complete-{n}", n, pairs, rng, delay_range)
+
+
+def grid(rows: int, cols: int, rng: Optional[np.random.Generator] = None, delay_range=(1.0, 1.0)) -> Topology:
+    """rows × cols mesh."""
+    if rows < 1 or cols < 1:
+        raise TopologyError("grid needs rows, cols >= 1")
+    rng = rng or np.random.default_rng(0)
+    pairs = []
+    for r in range(rows):
+        for c in range(cols):
+            i = r * cols + c
+            if c + 1 < cols:
+                pairs.append((i, i + 1))
+            if r + 1 < rows:
+                pairs.append((i, i + cols))
+    return _finish(f"grid-{rows}x{cols}", rows * cols, pairs, rng, delay_range)
+
+
+def torus(rows: int, cols: int, rng: Optional[np.random.Generator] = None, delay_range=(1.0, 1.0)) -> Topology:
+    """rows × cols mesh with wrap-around links."""
+    if rows < 3 or cols < 3:
+        raise TopologyError("torus needs rows, cols >= 3")
+    rng = rng or np.random.default_rng(0)
+    pairs = []
+    for r in range(rows):
+        for c in range(cols):
+            i = r * cols + c
+            pairs.append((i, r * cols + (c + 1) % cols))
+            pairs.append((i, ((r + 1) % rows) * cols + c))
+    return _finish(f"torus-{rows}x{cols}", rows * cols, pairs, rng, delay_range)
+
+
+def hypercube(dim: int, rng: Optional[np.random.Generator] = None, delay_range=(1.0, 1.0)) -> Topology:
+    """dim-dimensional hypercube (2^dim sites)."""
+    if dim < 1:
+        raise TopologyError("hypercube needs dim >= 1")
+    rng = rng or np.random.default_rng(0)
+    n = 1 << dim
+    pairs = [(i, i ^ (1 << b)) for i in range(n) for b in range(dim) if i < i ^ (1 << b)]
+    return _finish(f"hypercube-{dim}", n, pairs, rng, delay_range)
+
+
+def random_tree(n: int, rng: Optional[np.random.Generator] = None, delay_range=(1.0, 5.0)) -> Topology:
+    """Uniform random recursive tree (each new site attaches to a random
+    earlier one)."""
+    if n < 1:
+        raise TopologyError("tree needs n >= 1")
+    rng = rng or np.random.default_rng(0)
+    pairs = [(int(rng.integers(0, i)), i) for i in range(1, n)]
+    return _finish(f"tree-{n}", n, pairs, rng, delay_range)
+
+
+def erdos_renyi(
+    n: int, p: float, rng: Optional[np.random.Generator] = None, delay_range=(1.0, 5.0)
+) -> Topology:
+    """G(n, p) with deterministic connectivity repair."""
+    if n < 2:
+        raise TopologyError("erdos_renyi needs n >= 2")
+    if not 0.0 <= p <= 1.0:
+        raise TopologyError(f"p must be in [0,1], got {p}")
+    rng = rng or np.random.default_rng(0)
+    iu, ju = np.triu_indices(n, k=1)
+    mask = rng.random(len(iu)) < p
+    edges = {(int(a), int(b)) for a, b in zip(iu[mask], ju[mask])}
+    _repair_connectivity(n, edges, rng, delay_range)
+    return _finish(f"er-{n}-p{p}", n, sorted(edges), rng, delay_range)
+
+
+def barabasi_albert(
+    n: int, m: int, rng: Optional[np.random.Generator] = None, delay_range=(1.0, 5.0)
+) -> Topology:
+    """Preferential attachment: each new site links to ``m`` earlier sites."""
+    if n < 2 or m < 1 or m >= n:
+        raise TopologyError(f"barabasi_albert needs n >= 2 and 1 <= m < n, got n={n} m={m}")
+    rng = rng or np.random.default_rng(0)
+    edges = set()
+    # Seed: star over the first m+1 sites.
+    targets: List[int] = []
+    for i in range(1, m + 1):
+        edges.add((0, i))
+        targets += [0, i]
+    for i in range(m + 1, n):
+        chosen: set = set()
+        while len(chosen) < m:
+            pick = targets[int(rng.integers(len(targets)))]
+            chosen.add(pick)
+        for t in chosen:
+            edges.add((min(i, t), max(i, t)))
+            targets += [i, t]
+    return _finish(f"ba-{n}-m{m}", n, sorted(edges), rng, delay_range)
+
+
+def random_geometric(
+    n: int,
+    radius: float,
+    rng: Optional[np.random.Generator] = None,
+    delay_scale: float = 10.0,
+) -> Topology:
+    """Sites uniform in the unit square; link iff within ``radius``.
+
+    Delays are proportional to Euclidean distance (``delay_scale`` × dist),
+    the natural "propagation delay" model. Connectivity is repaired by
+    linking nearest pairs of components (delay = scaled distance), so the
+    result stays geometrically meaningful.
+    """
+    if n < 2:
+        raise TopologyError("random_geometric needs n >= 2")
+    if radius <= 0:
+        raise TopologyError("radius must be > 0")
+    rng = rng or np.random.default_rng(0)
+    pts = rng.random((n, 2))
+    diff = pts[:, None, :] - pts[None, :, :]
+    dist = np.sqrt((diff**2).sum(axis=2))
+    iu, ju = np.triu_indices(n, k=1)
+    mask = dist[iu, ju] <= radius
+    edges = {(int(a), int(b)): float(dist[a, b]) for a, b in zip(iu[mask], ju[mask])}
+
+    # Component repair: greedily connect closest cross-component pair.
+    parent = list(range(n))
+
+    def find(x: int) -> int:
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    for a, b in edges:
+        parent[find(a)] = find(b)
+    while True:
+        roots = {find(i) for i in range(n)}
+        if len(roots) == 1:
+            break
+        best = None
+        for a, b in zip(iu, ju):
+            if find(int(a)) != find(int(b)):
+                d = float(dist[a, b])
+                if best is None or d < best[0]:
+                    best = (d, int(a), int(b))
+        assert best is not None
+        d, a, b = best
+        edges[(min(a, b), max(a, b))] = d
+        parent[find(a)] = find(b)
+
+    topo_edges = tuple(
+        (u, v, delay_scale * d) for (u, v), d in sorted(edges.items())
+    )
+    topo = Topology(n, topo_edges, f"geo-{n}-r{radius}")
+    if not topo.is_connected():
+        raise TopologyError("random_geometric repair failed (internal error)")
+    return topo
+
+
+def watts_strogatz(
+    n: int,
+    k: int,
+    beta: float,
+    rng: Optional[np.random.Generator] = None,
+    delay_range=(1.0, 5.0),
+) -> Topology:
+    """Small-world rewiring of a ring lattice (k nearest neighbours)."""
+    if n < 4 or k < 2 or k % 2 or k >= n:
+        raise TopologyError(f"watts_strogatz needs n >= 4, even k in [2, n), got n={n} k={k}")
+    if not 0.0 <= beta <= 1.0:
+        raise TopologyError(f"beta must be in [0,1], got {beta}")
+    rng = rng or np.random.default_rng(0)
+    edges = set()
+    for i in range(n):
+        for j in range(1, k // 2 + 1):
+            edges.add((min(i, (i + j) % n), max(i, (i + j) % n)))
+    rewired = set()
+    for u, v in sorted(edges):
+        if rng.random() < beta:
+            w = int(rng.integers(n))
+            attempts = 0
+            while (w == u or (min(u, w), max(u, w)) in edges or (min(u, w), max(u, w)) in rewired) and attempts < 4 * n:
+                w = int(rng.integers(n))
+                attempts += 1
+            if attempts < 4 * n:
+                rewired.add((min(u, w), max(u, w)))
+                continue
+        rewired.add((u, v))
+    _repair_connectivity(n, rewired, rng, delay_range)
+    return _finish(f"ws-{n}-k{k}-b{beta}", n, sorted(rewired), rng, delay_range)
+
+
+# ---------------------------------------------------------------------------
+# factory & network construction
+# ---------------------------------------------------------------------------
+
+_FACTORIES: Dict[str, Callable[..., Topology]] = {
+    "line": line,
+    "ring": ring,
+    "star": star,
+    "complete": complete,
+    "grid": grid,
+    "torus": torus,
+    "hypercube": hypercube,
+    "tree": random_tree,
+    "erdos_renyi": erdos_renyi,
+    "barabasi_albert": barabasi_albert,
+    "geometric": random_geometric,
+    "watts_strogatz": watts_strogatz,
+}
+
+
+def topology_factory(kind: str, **kwargs) -> Topology:
+    """Build a topology by name; see ``_FACTORIES`` for the catalogue."""
+    try:
+        fn = _FACTORIES[kind]
+    except KeyError:
+        raise TopologyError(f"unknown topology kind {kind!r}; known: {sorted(_FACTORIES)}") from None
+    return fn(**kwargs)
+
+
+def build_network(
+    topo: Topology,
+    sim: Simulator,
+    site_factory: Callable[[SiteId, Network], object],
+    tracer: Optional[Tracer] = None,
+    throughput: Optional[float] = None,
+) -> Network:
+    """Instantiate a live network from a topology description.
+
+    ``site_factory(sid, network)`` must construct (and thereby register) the
+    site object for each id — this is how experiments plug in RTDS sites vs
+    baseline sites over identical topologies.
+    """
+    net = Network(sim, tracer)
+    for sid in range(topo.n):
+        site_factory(sid, net)
+    for u, v, d in topo.edges:
+        net.add_link(u, v, d, throughput)
+    return net

@@ -1,0 +1,106 @@
+"""Structured tracing and message accounting.
+
+Two concerns live here:
+
+* :class:`Tracer` — an append-only log of :class:`TraceEvent` records with
+  category filters. The protocol emits one record per externally observable
+  step (job arrival, local accept, enrollment, validation verdict, ...);
+  Figure-1 style protocol walkthroughs and the integration tests read it.
+* :class:`MessageStats` — counters of physical transmissions grouped by
+  message type, plus byte·hop volume. Experiment E2 (messages/job vs network
+  size) is computed from these.
+
+Tracing is enabled by default but cheap (a dataclass append); benchmarks that
+measure raw simulator speed can disable it wholesale.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional
+
+from repro.types import SiteId, Time
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One trace record."""
+
+    time: Time
+    category: str
+    site: Optional[SiteId]
+    detail: Dict[str, Any] = field(default_factory=dict)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        where = "-" if self.site is None else str(self.site)
+        kv = " ".join(f"{k}={v!r}" for k, v in self.detail.items())
+        return f"[{self.time:10.3f}] {self.category:<22} @{where:<4} {kv}"
+
+
+class Tracer:
+    """Append-only structured event log with category filtering."""
+
+    def __init__(self, enabled: bool = True, categories: Optional[Iterable[str]] = None):
+        self.enabled = enabled
+        #: if not None, only these categories are recorded
+        self.categories = set(categories) if categories is not None else None
+        self.events: List[TraceEvent] = []
+
+    def emit(self, time: Time, category: str, site: Optional[SiteId] = None, **detail: Any) -> None:
+        """Record one event (no-op when disabled or filtered out)."""
+        if not self.enabled:
+            return
+        if self.categories is not None and category not in self.categories:
+            return
+        self.events.append(TraceEvent(time, category, site, detail))
+
+    def of(self, category: str) -> List[TraceEvent]:
+        """All recorded events of one category, in time order."""
+        return [e for e in self.events if e.category == category]
+
+    def for_job(self, job_id: int) -> List[TraceEvent]:
+        """All events whose detail mentions ``job`` == job_id."""
+        return [e for e in self.events if e.detail.get("job") == job_id]
+
+    def clear(self) -> None:
+        self.events.clear()
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+
+class MessageStats:
+    """Physical-transmission counters.
+
+    ``count[mtype]`` — number of single-hop transmissions of that type;
+    ``volume[mtype]`` — sum of message sizes transmitted;
+    ``total`` / ``total_volume`` — grand totals.
+    """
+
+    def __init__(self) -> None:
+        self.count: Counter = Counter()
+        self.volume: Counter = Counter()
+        self.total: int = 0
+        self.total_volume: float = 0.0
+
+    def record(self, mtype: str, size: float) -> None:
+        self.count[mtype] += 1
+        self.volume[mtype] += size
+        self.total += 1
+        self.total_volume += size
+
+    def snapshot(self) -> Dict[str, int]:
+        """Plain dict copy of per-type counts (stable for assertions)."""
+        return dict(self.count)
+
+    def subtract(self, earlier: "MessageStats") -> Dict[str, int]:
+        """Per-type deltas since an earlier snapshot-ed instance."""
+        return {
+            k: self.count[k] - earlier.count.get(k, 0)
+            for k in set(self.count) | set(earlier.count)
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        parts = ", ".join(f"{k}={v}" for k, v in sorted(self.count.items()))
+        return f"MessageStats(total={self.total}, {parts})"

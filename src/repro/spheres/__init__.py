@@ -1,0 +1,27 @@
+"""Computing Spheres (paper §6–§8).
+
+* :mod:`repro.spheres.pcs` — the Potential Computing Sphere: membership
+  (hop radius ``h`` via routing-table discovery phases) and the
+  shortest-path-tree *control structure* that implements "local broadcast"
+  with one message per tree edge instead of one per member.
+* :mod:`repro.spheres.acs` — initiator-side state of an Available Computing
+  Sphere construction (collected surpluses/distances, completion tests) and
+  the per-site lock.
+* :mod:`repro.spheres.diameter` — delay diameter/radius of a sphere from the
+  distance maps members report.
+"""
+
+from repro.spheres.pcs import PCS, build_pcs, sphere_broadcast, split_targets_by_hop
+from repro.spheres.acs import AcsSession, SiteLock
+from repro.spheres.diameter import sphere_diameter, sphere_radius
+
+__all__ = [
+    "PCS",
+    "build_pcs",
+    "sphere_broadcast",
+    "split_targets_by_hop",
+    "AcsSession",
+    "SiteLock",
+    "sphere_diameter",
+    "sphere_radius",
+]

@@ -1,0 +1,51 @@
+"""Delay diameter/radius of a sphere from distributed knowledge.
+
+The Mapper over-estimates every inter-processor communication by the
+*computed diameter (in terms of delay) of the current ACS* (§12). The
+initiator assembles that diameter from what it has: its own routing table
+(distances k→j) and the distance maps the enrolled members reported in
+their ENROLL_ACKs (distances j→j'). A missing pair — possible only through
+float-edge phase effects — falls back to the triangle upper bound via the
+initiator, which keeps the estimate an over-estimate (safe direction).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional
+
+from repro.types import SiteId, Time
+
+
+def sphere_radius(initiator_dist: Mapping[SiteId, Time], members: List[SiteId]) -> Time:
+    """Max delay from the initiator to any member (0 if no members)."""
+    return max((initiator_dist[m] for m in members if m in initiator_dist), default=0.0)
+
+
+def sphere_diameter(
+    initiator: SiteId,
+    initiator_dist: Mapping[SiteId, Time],
+    member_dists: Mapping[SiteId, Mapping[SiteId, Time]],
+) -> Time:
+    """Max pairwise delay over the sphere ``{initiator} ∪ members``.
+
+    ``member_dists[j]`` is the map site ``j`` reported. Missing entries use
+    the ``via-initiator`` triangle bound ``d(k,i) + d(k,j)``.
+    """
+    members = sorted(member_dists)
+    best = 0.0
+    # initiator <-> member legs
+    for m in members:
+        d = initiator_dist.get(m)
+        if d is None:
+            d = member_dists[m].get(initiator, 0.0)
+        best = max(best, d)
+    # member <-> member legs
+    for i_idx, i in enumerate(members):
+        for j in members[i_idx + 1 :]:
+            d: Optional[Time] = member_dists[i].get(j)
+            if d is None:
+                d = member_dists[j].get(i)
+            if d is None:
+                d = initiator_dist.get(i, 0.0) + initiator_dist.get(j, 0.0)
+            best = max(best, d)
+    return best

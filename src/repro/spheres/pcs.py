@@ -1,0 +1,144 @@
+"""The Potential Computing Sphere (paper §6–§7).
+
+PCS(k) is the set of sites within hop radius ``h`` of ``k``, computed once
+at system initialization from the interrupted Bellman–Ford routing table:
+a destination's ``discovered_phase`` equals its BFS hop distance, so
+membership is simply ``discovered_phase <= h``.
+
+The "communication control structure [...] allowing local broadcast" is the
+unique-shortest-path tree implicit in the next-hop tables: to broadcast to a
+target set, a site groups the targets by next hop and sends *one* message
+per distinct hop carrying the sub-list; each relay repeats the split. The
+cost is one transmission per tree edge traversed — this is what keeps RTDS
+traffic independent of the network size (experiment E2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.errors import RoutingError
+from repro.core.messages import MSG_SPHERE
+from repro.routing.table import RoutingTable
+from repro.simnet.site import SiteBase
+from repro.types import SiteId, Time
+
+
+@dataclass(frozen=True)
+class PCS:
+    """The Potential Computing Sphere of one site."""
+
+    root: SiteId
+    h: int
+    #: members, root excluded, sorted by (delay distance, id)
+    members: Tuple[SiteId, ...]
+    #: root's delay distance to each member (hop-bounded min delay)
+    distance: Dict[SiteId, Time]
+    #: BFS hop distance of each member
+    hops: Dict[SiteId, int]
+
+    def __contains__(self, sid: SiteId) -> bool:
+        return sid == self.root or sid in self.distance
+
+    def __len__(self) -> int:
+        return len(self.members)
+
+    def all_sites(self) -> List[SiteId]:
+        """Members plus the root (the full sphere)."""
+        return sorted((self.root, *self.members))
+
+    def nearest(self, count: int) -> List[SiteId]:
+        """The ``count`` members closest in delay (ACS size bounding)."""
+        return list(self.members[:count])
+
+    def radius(self) -> Time:
+        """Max root-to-member delay (0 for an empty sphere)."""
+        return max(self.distance.values(), default=0.0)
+
+
+def build_pcs(table: RoutingTable, h: int) -> PCS:
+    """Derive PCS membership from a finished routing table."""
+    if h < 1:
+        raise RoutingError(f"PCS radius h must be >= 1, got {h}")
+    root = table.owner
+    members = [d for d in table.within_phase(h) if d != root]
+    distance = {d: table.entry(d).distance for d in members}
+    hops = {d: table.entry(d).discovered_phase for d in members}
+    members.sort(key=lambda d: (distance[d], d))
+    return PCS(root=root, h=h, members=tuple(members), distance=distance, hops=hops)
+
+
+def split_targets_by_hop(
+    site: SiteBase, targets: List[SiteId]
+) -> Dict[SiteId, List[SiteId]]:
+    """Group broadcast targets by this site's next hop towards them."""
+    groups: Dict[SiteId, List[SiteId]] = {}
+    for t in targets:
+        hop = site.next_hop.get(t)
+        if hop is None:
+            raise RoutingError(f"site {site.sid}: no route to broadcast target {t}")
+        groups.setdefault(hop, []).append(t)
+    return groups
+
+
+def sphere_broadcast(
+    site: SiteBase,
+    targets: List[SiteId],
+    inner_mtype: str,
+    inner_payload: Dict[str, Any],
+    size: float = 1.0,
+) -> int:
+    """Tree-broadcast ``inner`` to ``targets`` along shortest-path routes.
+
+    Returns the number of first-hop transmissions. Relay handling lives in
+    :func:`handle_sphere_message`, which every sphere-aware site wires to
+    ``MSG_SPHERE``.
+    """
+    sent = 0
+    for hop, group in sorted(split_targets_by_hop(site, targets).items()):
+        site.send_neighbor(
+            hop,
+            MSG_SPHERE,
+            payload={
+                "targets": sorted(group),
+                "inner_mtype": inner_mtype,
+                "inner_payload": inner_payload,
+                "origin": site.sid,
+            },
+            size=size + len(group) * 0.0,  # payload size dominated by inner
+        )
+        sent += 1
+    return sent
+
+
+def handle_sphere_message(site: SiteBase, msg) -> Optional[Dict[str, Any]]:
+    """Relay/unwrap one SPHERE envelope at ``site``.
+
+    Forwards the remaining targets (splitting further as needed) and, when
+    this site is itself a target, returns the inner ``(mtype, payload,
+    origin)`` dict for local dispatch; otherwise returns ``None``.
+    """
+    targets: List[SiteId] = list(msg.payload["targets"])
+    inner_mtype = msg.payload["inner_mtype"]
+    inner_payload = msg.payload["inner_payload"]
+    origin = msg.payload["origin"]
+
+    deliver_here = site.sid in targets
+    rest = [t for t in targets if t != site.sid]
+    if rest:
+        for hop, group in sorted(split_targets_by_hop(site, rest).items()):
+            site.send_neighbor(
+                hop,
+                MSG_SPHERE,
+                payload={
+                    "targets": sorted(group),
+                    "inner_mtype": inner_mtype,
+                    "inner_payload": inner_payload,
+                    "origin": origin,
+                },
+                size=msg.size,
+            )
+    if deliver_here:
+        return {"mtype": inner_mtype, "payload": inner_payload, "origin": origin}
+    return None

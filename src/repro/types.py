@@ -1,0 +1,48 @@
+"""Common type aliases and small shared constants.
+
+Keeping these in one leaf module avoids import cycles between the graph,
+network and scheduling packages.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+#: Identifier of a task inside one job DAG. Any hashable works; the worked
+#: example from the paper uses the integers 1..5.
+TaskId = Hashable
+
+#: Identifier of a site (network node). Sites are created by the topology
+#: generators as consecutive integers starting at 0.
+SiteId = int
+
+#: Identifier of a *logical* processor produced by the Mapper. Logical
+#: processors are indexed 0..|U|-1 by descending surplus (the paper writes
+#: U = 1..|U|; we use 0-based indices internally and 1-based in reports).
+LogicalProc = int
+
+#: Identifier of a job instance (unique across a simulation run).
+JobId = int
+
+#: Simulated time and durations; continuous, in arbitrary units.
+Time = float
+
+#: Numeric tolerance used by schedule/feasibility comparisons. All protocol
+#: arithmetic is float; EPS absorbs representation noise without hiding
+#: genuine deadline violations (paper quantities are O(1)..O(1e4)).
+EPS: float = 1e-9
+
+
+def feq(a: float, b: float, eps: float = EPS) -> bool:
+    """Float equality within :data:`EPS` (scale-free for our value ranges)."""
+    return abs(a - b) <= eps
+
+
+def fle(a: float, b: float, eps: float = EPS) -> bool:
+    """``a <= b`` within tolerance."""
+    return a <= b + eps
+
+
+def flt(a: float, b: float, eps: float = EPS) -> bool:
+    """``a < b`` with tolerance (strictly smaller by more than eps)."""
+    return a < b - eps

@@ -1,0 +1,6 @@
+"""ASCII visualisation: Gantt charts (Figs 3/4), DAG sketches (Fig 2)."""
+
+from repro.viz.gantt import render_gantt
+from repro.viz.dagviz import render_dag
+
+__all__ = ["render_gantt", "render_dag"]

@@ -1,0 +1,35 @@
+"""ASCII DAG sketches (Figure-2 style)."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.graphs.dag import Dag
+from repro.types import TaskId
+
+
+def render_dag(dag: Dag) -> str:
+    """Render the DAG by precedence depth, one level per line.
+
+    Example (the paper's Fig. 2 instance)::
+
+        level 0:  t1(c=6)  t2(c=4)
+        level 1:  t3(c=4)  t4(c=2)
+        level 2:  t5(c=5)
+        edges: 1->3, 1->4, 2->3, 3->5, 4->5
+    """
+    depth: Dict[TaskId, int] = {}
+    for t in dag.topological_order():
+        preds = dag.predecessors(t)
+        depth[t] = 1 + max((depth[p] for p in preds), default=-1)
+    by_level: Dict[int, List[TaskId]] = {}
+    for t, d in depth.items():
+        by_level.setdefault(d, []).append(t)
+    lines = [f"DAG {dag.name}: {len(dag)} tasks, {dag.edge_count()} edges"]
+    for lvl in sorted(by_level):
+        tasks = sorted(by_level[lvl], key=repr)
+        cells = "  ".join(f"t{t}(c={dag.complexity(t):g})" for t in tasks)
+        lines.append(f"level {lvl}:  {cells}")
+    edge_str = ", ".join(f"{u}->{v}" for u, v in dag.edges)
+    lines.append(f"edges: {edge_str}")
+    return "\n".join(lines)

@@ -1,0 +1,71 @@
+"""Render what actually executed in a finished run.
+
+Builds Gantt items from the per-site executor records of a
+:class:`~repro.experiments.runner.RunResult` — the *actual* starts/ends,
+not the reservations — so slippage and work-conserving reordering are
+visible. Used by examples and debugging sessions ("what did site 3 run
+between t=100 and t=140?").
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.viz.gantt import GanttItem, render_gantt
+
+
+def execution_items(
+    result,
+    t_min: float = 0.0,
+    t_max: float = float("inf"),
+    sites: Optional[List[int]] = None,
+    jobs: Optional[List[int]] = None,
+) -> List[GanttItem]:
+    """Collect executed chunks as Gantt items, filtered by window/site/job."""
+    items: List[GanttItem] = []
+    for sid, site in sorted(result.network.sites.items()):
+        if sites is not None and sid not in sites:
+            continue
+        executor = getattr(site, "executor", None)
+        if executor is None:
+            continue
+        for (job, task), rec in executor.records().items():
+            if jobs is not None and job not in jobs:
+                continue
+            for (s, e) in rec.actual:
+                if e <= t_min or s >= t_max:
+                    continue
+                items.append((f"site{sid:>3}", f"{job}/{task}", s, e))
+    return items
+
+
+def render_execution(
+    result,
+    t_min: float = 0.0,
+    t_max: float = float("inf"),
+    sites: Optional[List[int]] = None,
+    jobs: Optional[List[int]] = None,
+    width: int = 90,
+) -> str:
+    """ASCII Gantt of the actual executions in one run."""
+    items = execution_items(result, t_min, t_max, sites, jobs)
+    title = "actual execution"
+    if jobs is not None:
+        title += f" of jobs {jobs}"
+    if t_max != float("inf"):
+        title += f" in [{t_min:g}, {t_max:g})"
+    return render_gantt(items, width=width, title=title)
+
+
+def job_placement_summary(result, job: int) -> List[Tuple[str, int, float, float]]:
+    """(task, site, actual_start, actual_end) rows for one job."""
+    rows = []
+    for sid, site in sorted(result.network.sites.items()):
+        executor = getattr(site, "executor", None)
+        if executor is None:
+            continue
+        for (j, task), rec in executor.records().items():
+            if j == job and rec.done:
+                rows.append((str(task), sid, rec.actual_start, rec.actual_end))
+    rows.sort(key=lambda r: r[2])
+    return rows

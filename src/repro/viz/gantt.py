@@ -1,0 +1,62 @@
+"""ASCII Gantt charts.
+
+Renders per-processor schedules the way the paper draws Figures 3 and 4 —
+one row per processor, labelled task boxes positioned by time.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Sequence, Tuple
+
+#: one schedule entry: (row label, task label, start, end)
+GanttItem = Tuple[str, str, float, float]
+
+
+def render_gantt(
+    items: Sequence[GanttItem],
+    width: int = 72,
+    title: str = "",
+) -> str:
+    """Render ``(row, task, start, end)`` items as an ASCII Gantt chart."""
+    if not items:
+        return f"{title}\n(empty schedule)" if title else "(empty schedule)"
+    t_min = min(i[2] for i in items)
+    t_max = max(i[3] for i in items)
+    span = max(t_max - t_min, 1e-9)
+    scale = (width - 1) / span
+
+    rows: Dict[str, List[GanttItem]] = {}
+    for it in items:
+        rows.setdefault(it[0], []).append(it)
+    label_w = max(len(r) for r in rows)
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for row in sorted(rows):
+        canvas = [" "] * width
+        for _, task, start, end in sorted(rows[row], key=lambda x: x[2]):
+            a = int(round((start - t_min) * scale))
+            b = max(a + 1, int(round((end - t_min) * scale)))
+            b = min(b, width)
+            for x in range(a, b):
+                canvas[x] = "#"
+            tag = str(task)[: max(0, b - a)]
+            for k, ch in enumerate(tag):
+                if a + k < width:
+                    canvas[a + k] = ch
+        lines.append(f"{row.ljust(label_w)} |{''.join(canvas)}|")
+    axis = f"{' ' * label_w} |{t_min:<10.4g}{' ' * max(0, width - 20)}{t_max:>10.4g}"
+    lines.append(axis)
+    return "\n".join(lines)
+
+
+def schedule_to_items(
+    schedule: Dict[Hashable, Tuple[int, float, float]], proc_prefix: str = "p"
+) -> List[GanttItem]:
+    """Convert ``task -> (proc, start, end)`` maps (the paper-example format)
+    into Gantt items. Processors are labelled 1-based like the paper."""
+    return [
+        (f"{proc_prefix}{proc + 1}", f"t{task}", start, end)
+        for task, (proc, start, end) in sorted(schedule.items(), key=lambda kv: repr(kv[0]))
+    ]

@@ -1,0 +1,38 @@
+"""Sporadic workload generation.
+
+The paper's workload model: jobs (DAGs with deadlines) "arrive at any time
+on any site and compete for the computational resources". This package
+generates such workloads deterministically:
+
+* :mod:`repro.workloads.jobs` — :class:`JobSpec` (dag, origin, arrival,
+  deadline) and the workload container;
+* :mod:`repro.workloads.arrivals` — per-site Poisson arrival processes;
+* :mod:`repro.workloads.deadlines` — deadline assignment via laxity factor
+  × ideal critical path (the standard model in the cited literature);
+* :mod:`repro.workloads.load` — offered-load calibration (arrival rate ↔
+  fraction of aggregate computing capacity);
+* :mod:`repro.workloads.scenarios` — named mixed-DAG scenario builders used
+  by examples and benches.
+"""
+
+from repro.workloads.jobs import JobSpec, Workload
+from repro.workloads.arrivals import poisson_arrivals
+from repro.workloads.deadlines import assign_deadline
+from repro.workloads.load import calibrate_rate, offered_load
+from repro.workloads.scenarios import (
+    WorkloadSpec,
+    generate_workload,
+    mixed_dag_factory,
+)
+
+__all__ = [
+    "JobSpec",
+    "Workload",
+    "poisson_arrivals",
+    "assign_deadline",
+    "calibrate_rate",
+    "offered_load",
+    "WorkloadSpec",
+    "generate_workload",
+    "mixed_dag_factory",
+]

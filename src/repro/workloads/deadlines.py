@@ -1,0 +1,53 @@
+"""Deadline assignment.
+
+The canonical model of the literature the paper builds on (Ramamritham &
+Stankovic; Cheng et al.): a job's relative deadline is its ideal execution
+time scaled by a *laxity factor* — ``d = arrival + laxity_factor × CP``,
+where CP is the critical path length (the minimum possible makespan on
+unit-speed processors with free communication). ``laxity_factor`` close to
+1 means tight deadlines (little room to distribute); large factors make
+almost everything feasible somewhere.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.graphs.analysis import critical_path_length
+from repro.graphs.dag import Dag
+from repro.types import Time
+
+
+def assign_deadline(
+    dag: Dag,
+    arrival: Time,
+    laxity_factor: float,
+    rng: np.random.Generator | None = None,
+    jitter: float = 0.0,
+) -> Time:
+    """Absolute deadline for ``dag`` arriving at ``arrival``.
+
+    ``jitter`` optionally randomises the factor uniformly in
+    ``[factor·(1-jitter), factor·(1+jitter)]`` so deadlines are not all
+    proportional (exercises different adjustment cases).
+    """
+    if laxity_factor <= 0:
+        raise WorkloadError(f"laxity_factor must be > 0, got {laxity_factor}")
+    if not 0.0 <= jitter < 1.0:
+        raise WorkloadError(f"jitter must be in [0, 1), got {jitter}")
+    factor = laxity_factor
+    if jitter > 0:
+        if rng is None:
+            raise WorkloadError("jitter needs an rng")
+        factor *= float(rng.uniform(1.0 - jitter, 1.0 + jitter))
+    cp = critical_path_length(dag)
+    return arrival + factor * cp
+
+
+def tightness(dag: Dag, arrival: Time, deadline: Time) -> float:
+    """Inverse laxity factor of an assigned deadline (diagnostics)."""
+    cp = critical_path_length(dag)
+    if cp <= 0:
+        raise WorkloadError("degenerate DAG with zero critical path")
+    return (deadline - arrival) / cp

@@ -1,0 +1,48 @@
+"""Offered-load calibration.
+
+Experiments sweep *offered load* ρ — the fraction of the network's
+aggregate computing capacity the workload requests:
+
+    ρ = λ_total · E[work per job] / (Σ_k speed_k)
+
+Calibrating λ from ρ (instead of sweeping raw rates) makes guarantee-ratio
+curves comparable across network sizes and DAG families — the x-axes of
+experiments E1–E3.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import WorkloadError
+
+
+def offered_load(
+    total_rate: float, mean_work: float, capacities: Sequence[float]
+) -> float:
+    """ρ for a given aggregate arrival rate."""
+    cap = float(sum(capacities))
+    if cap <= 0:
+        raise WorkloadError("total capacity must be > 0")
+    if total_rate < 0 or mean_work <= 0:
+        raise WorkloadError(
+            f"need rate >= 0 and mean_work > 0, got {total_rate}, {mean_work}"
+        )
+    return total_rate * mean_work / cap
+
+
+def calibrate_rate(
+    rho: float, mean_work: float, capacities: Sequence[float]
+) -> float:
+    """Aggregate arrival rate achieving offered load ``rho``."""
+    if rho < 0:
+        raise WorkloadError(f"rho must be >= 0, got {rho}")
+    cap = float(sum(capacities))
+    if cap <= 0 or mean_work <= 0:
+        raise WorkloadError("capacity and mean work must be > 0")
+    return rho * cap / mean_work
+
+
+def expected_jobs(rho: float, mean_work: float, capacities: Sequence[float], duration: float) -> float:
+    """Expected number of arrivals over ``duration`` at load ``rho``."""
+    return calibrate_rate(rho, mean_work, capacities) * duration

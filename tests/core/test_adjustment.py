@@ -1,0 +1,171 @@
+"""Tests for the §12.2 adjustment (cases (i)/(ii)/(iii), eqs (3)-(5))."""
+
+import pytest
+
+from repro.core.adjustment import (
+    adjust_trial_mapping,
+    schedule_eta_and_weights,
+    schedule_sstar,
+)
+from repro.core.mapper import build_trial_mapping
+from repro.core.trial_mapping import LogicalProcSpec
+from repro.graphs.generators import (
+    fork_join_dag,
+    linear_chain_dag,
+    paper_example_dag,
+    random_dag,
+)
+
+
+def make_tm(dag, surpluses=(0.5, 0.4), omega=3.0, release=0.0):
+    procs = [LogicalProcSpec(index=i, surplus=s) for i, s in enumerate(surpluses)]
+    return build_trial_mapping(1, dag, procs, omega, release)
+
+
+class TestCaseClassification:
+    def test_case_i_reject(self):
+        tm = make_tm(paper_example_dag())
+        adj = adjust_trial_mapping(tm, job_deadline=10.0)  # < M* = 19
+        assert adj.case == "reject" and not adj.accepted
+
+    def test_case_ii_stretch(self):
+        tm = make_tm(paper_example_dag())
+        adj = adjust_trial_mapping(tm, job_deadline=66.0)  # >= M = 33
+        assert adj.case == "stretch" and adj.accepted
+
+    def test_case_iii_laxity(self):
+        tm = make_tm(paper_example_dag())
+        adj = adjust_trial_mapping(tm, job_deadline=25.0)  # 19 <= 25 < 33
+        assert adj.case == "laxity" and adj.accepted
+
+    def test_boundary_mstar(self):
+        tm = make_tm(paper_example_dag())
+        adj = adjust_trial_mapping(tm, job_deadline=19.0)  # == M*
+        assert adj.accepted and adj.case == "laxity"
+
+    def test_boundary_m(self):
+        tm = make_tm(paper_example_dag())
+        adj = adjust_trial_mapping(tm, job_deadline=33.0)  # == M
+        assert adj.case == "stretch"
+
+
+class TestSStar:
+    def test_sstar_uses_real_durations(self):
+        tm = make_tm(paper_example_dag())
+        ss = schedule_sstar(tm)
+        for t in tm.dag:
+            assert ss.finish[t] - ss.start[t] == pytest.approx(tm.dag.complexity(t))
+
+    def test_sstar_respects_precedence_and_proc_order(self):
+        tm = make_tm(random_dag(20), surpluses=(0.9, 0.6, 0.3), omega=2.0)
+        ss = schedule_sstar(tm)
+        for u, v in tm.dag.edges:
+            assert ss.start[v] + 1e-9 >= ss.finish[u] + tm.comm_delay(u, v)
+        for p in tm.used_procs():
+            seq = tm.tasks_on(p)
+            for a, b in zip(seq, seq[1:]):
+                assert ss.start[b] + 1e-9 >= ss.finish[a]
+
+    def test_sstar_never_longer_than_s(self):
+        for seed in range(5):
+            tm = make_tm(random_dag(15 + seed), surpluses=(0.8, 0.5), omega=1.0)
+            assert schedule_sstar(tm).makespan <= tm.makespan + 1e-9
+
+
+class TestEta:
+    def test_chain_eta_counts_all(self):
+        dag = linear_chain_dag(6, c_range=(2.0, 2.0))
+        tm = make_tm(dag, surpluses=(1.0,), omega=0.0)
+        ss = schedule_sstar(tm)
+        eta, wmax, _ = schedule_eta_and_weights(tm, ss, {t: 1.0 for t in dag})
+        assert eta == 6
+        assert wmax == pytest.approx(6.0)
+
+    def test_paper_example_eta(self):
+        tm = make_tm(paper_example_dag())
+        ss = schedule_sstar(tm)
+        eta, _, critical = schedule_eta_and_weights(
+            tm, ss, {t: 1.0 for t in tm.dag}
+        )
+        # S* critical chain: t1(0-6) -> wait -> t3(7-11)? t3 starts at 7 via
+        # t2+omega; critical path is t2 -> t3 -> (proc/dag) t5: check eta >= 3
+        assert eta >= 3
+
+
+class TestCaseII:
+    def test_eq3_scaling(self):
+        tm = make_tm(paper_example_dag())
+        adjust_trial_mapping(tm, job_deadline=99.0)
+        factor = 99.0 / 33.0
+        for t in tm.dag:
+            assert tm.deadline[t] == pytest.approx(tm.finish[t] * factor)
+
+    def test_windows_always_fit_durations(self):
+        for seed in range(8):
+            dag = random_dag(12, p_edge=0.3)
+            tm = make_tm(dag, surpluses=(0.7, 0.5), omega=2.0)
+            adj = adjust_trial_mapping(tm, job_deadline=tm.makespan * 1.5)
+            assert adj.case == "stretch"
+            for t in dag:
+                assert (
+                    tm.deadline[t] - tm.release[t]
+                    >= dag.complexity(t) - 1e-9
+                ), f"window of {t} too small"
+
+    def test_release_nonnegative_offset(self):
+        tm = make_tm(paper_example_dag(), release=10.0)
+        adjust_trial_mapping(tm, job_deadline=10.0 + 66.0)
+        assert tm.release[1] == pytest.approx(10.0)
+        assert tm.deadline[5] == pytest.approx(76.0)
+
+
+class TestCaseIII:
+    def test_sink_deadline_is_d(self):
+        tm = make_tm(paper_example_dag())
+        adjust_trial_mapping(tm, job_deadline=25.0)
+        assert tm.deadline[5] == pytest.approx(25.0)
+
+    def test_laxity_total_bounded_by_slack(self):
+        tm = make_tm(paper_example_dag())
+        adj = adjust_trial_mapping(tm, job_deadline=25.0)
+        slack = 25.0 - adj.mstar
+        assert adj.eta is not None and adj.eta >= 1
+        for t in tm.dag:
+            assert adj.laxity[t] <= slack + 1e-9
+
+    def test_eq4_monotone_along_edges(self):
+        """d(ti) <= d(tj) - l(tj) - c(tj) - omega for each edge."""
+        tm = make_tm(paper_example_dag())
+        adj = adjust_trial_mapping(tm, job_deadline=25.0)
+        for u, v in tm.dag.edges:
+            bound = (
+                tm.deadline[v]
+                - adj.laxity[v]
+                - tm.dag.complexity(v)
+                - tm.comm_delay(u, v)
+            )
+            assert tm.deadline[u] <= bound + 1e-9
+
+    def test_busyness_mode_weights_by_processor(self):
+        procs = [
+            LogicalProcSpec(index=0, surplus=0.9, busyness=0.1),
+            LogicalProcSpec(index=1, surplus=0.2, busyness=0.8),
+        ]
+        dag = fork_join_dag(2, c_range=(5.0, 5.0))
+        tm = build_trial_mapping(1, dag, procs, 0.5, 0.0)
+        ss = schedule_sstar(tm)
+        window = ss.makespan * 1.2
+        adj = adjust_trial_mapping(tm, job_deadline=window, laxity_mode="busyness")
+        if adj.case == "laxity" and len(tm.used_procs()) > 1:
+            busy_tasks = [t for t in dag if tm.procs[tm.assignment[t]].busyness > 0.5]
+            idle_tasks = [t for t in dag if tm.procs[tm.assignment[t]].busyness < 0.5]
+            if busy_tasks and idle_tasks:
+                assert max(adj.laxity[t] for t in busy_tasks) > max(
+                    adj.laxity[t] for t in idle_tasks
+                )
+
+    def test_uniform_laxity_equal(self):
+        tm = make_tm(paper_example_dag())
+        adj = adjust_trial_mapping(tm, job_deadline=25.0, laxity_mode="uniform")
+        values = set(round(v, 9) for v in adj.laxity.values())
+        assert len(values) == 1

@@ -1,0 +1,143 @@
+"""Tests for the Mapper (list scheduling, §12)."""
+
+import pytest
+
+from repro.core.mapper import build_trial_mapping
+from repro.core.trial_mapping import LogicalProcSpec
+from repro.errors import MappingError
+from repro.graphs.dag import Dag, Task
+from repro.graphs.generators import (
+    fork_join_dag,
+    linear_chain_dag,
+    paper_example_dag,
+    random_dag,
+)
+from repro.sched.intervals import BusyTimeline, Reservation
+
+
+def procs(*surpluses, timelines=None):
+    out = []
+    for i, s in enumerate(surpluses):
+        tl = timelines.get(i) if timelines else None
+        out.append(LogicalProcSpec(index=i, surplus=s, timeline=tl))
+    return out
+
+
+class TestBasics:
+    def test_no_procs_rejected(self):
+        with pytest.raises(MappingError):
+            build_trial_mapping(1, paper_example_dag(), [], 0.0, 0.0)
+
+    def test_bad_index_rejected(self):
+        bad = [LogicalProcSpec(index=1, surplus=0.5)]
+        with pytest.raises(MappingError):
+            build_trial_mapping(1, paper_example_dag(), bad, 0.0, 0.0)
+
+    def test_unsorted_surplus_rejected(self):
+        with pytest.raises(MappingError):
+            build_trial_mapping(1, paper_example_dag(), procs(0.4, 0.8), 0.0, 0.0)
+
+    def test_negative_omega_rejected(self):
+        with pytest.raises(MappingError):
+            build_trial_mapping(1, paper_example_dag(), procs(0.5), -1.0, 0.0)
+
+    def test_all_tasks_assigned(self):
+        tm = build_trial_mapping(1, random_dag(20), procs(1.0, 0.8, 0.6), 2.0, 0.0)
+        assert set(tm.assignment) == set(tm.dag.tasks)
+
+    def test_consistency_valid(self):
+        tm = build_trial_mapping(1, random_dag(15), procs(0.9, 0.7), 1.5, 0.0)
+        tm.validate_consistency()
+
+    def test_deterministic(self):
+        d = random_dag(25)
+        t1 = build_trial_mapping(1, d, procs(0.9, 0.7, 0.5), 2.0, 0.0)
+        t2 = build_trial_mapping(1, d, procs(0.9, 0.7, 0.5), 2.0, 0.0)
+        assert t1.assignment == t2.assignment
+        assert t1.start == t2.start
+
+
+class TestSchedulingBehaviour:
+    def test_chain_stays_on_fastest_proc(self):
+        """With a big omega, a chain should never migrate."""
+        d = linear_chain_dag(6, c_range=(2.0, 2.0))
+        tm = build_trial_mapping(1, d, procs(1.0, 1.0, 1.0), 100.0, 0.0)
+        assert len(tm.used_procs()) == 1
+
+    def test_fork_join_spreads_when_comm_free(self):
+        d = fork_join_dag(6, c_range=(4.0, 4.0))
+        tm = build_trial_mapping(1, d, procs(1.0, 1.0, 1.0), 0.0, 0.0)
+        assert len(tm.used_procs()) == 3
+
+    def test_job_release_offsets_everything(self):
+        d = linear_chain_dag(3, c_range=(1.0, 1.0))
+        tm = build_trial_mapping(1, d, procs(1.0), 0.0, 50.0)
+        assert min(tm.start.values()) >= 50.0
+        assert tm.makespan == pytest.approx(3.0)  # relative to release
+
+    def test_priorities_follow_critical_path(self):
+        """The paper's example order: t1 before t2 (priority 15 vs 13)."""
+        tm = paper = build_trial_mapping(
+            1, paper_example_dag(), procs(0.5, 0.4), 3.0, 0.0
+        )
+        # t1 got the better (higher-surplus) processor at time 0
+        assert tm.assignment[1] == 0 and tm.start[1] == 0.0
+        assert tm.assignment[2] == 1 and tm.start[2] == 0.0
+
+    def test_precedence_with_omega(self):
+        tm = build_trial_mapping(1, paper_example_dag(), procs(0.5, 0.4), 3.0, 0.0)
+        for u, v in tm.dag.edges:
+            gap = 0.0 if tm.assignment[u] == tm.assignment[v] else 3.0
+            assert tm.start[v] + 1e-9 >= tm.finish[u] + gap
+
+
+class TestCompaction:
+    def test_unused_procs_dropped(self):
+        d = linear_chain_dag(4)
+        tm = build_trial_mapping(1, d, procs(1.0, 0.9, 0.8, 0.7), 50.0, 0.0)
+        assert len(tm.procs) == 1
+        assert tm.used_procs() == [0]
+
+    def test_compaction_preserves_surplus_order(self):
+        d = fork_join_dag(3, c_range=(5.0, 5.0))
+        tm = build_trial_mapping(1, d, procs(1.0, 0.9, 0.8, 0.7, 0.6), 0.0, 0.0)
+        surpluses = [p.surplus for p in tm.procs]
+        assert surpluses == sorted(surpluses, reverse=True)
+        assert [p.index for p in tm.procs] == list(range(len(tm.procs)))
+
+
+class TestLocalKnowledge:
+    def test_timeline_proc_uses_gaps(self):
+        """§13: the initiator's processor schedules by real insertion."""
+        tl = BusyTimeline()
+        tl.reserve(Reservation(0.0, 10.0, 99, "busy"))
+        d = linear_chain_dag(1, c_range=(2.0, 2.0))
+        tm = build_trial_mapping(
+            1, d, procs(1.0, timelines={0: tl}), 0.0, 0.0
+        )
+        # must start after the existing reservation, true duration 2
+        assert tm.start[0] == pytest.approx(10.0)
+        assert tm.finish[0] == pytest.approx(12.0)
+
+    def test_timeline_proc_vs_surplus_proc(self):
+        """A busy-timeline proc loses EFT to an idle surplus proc."""
+        tl = BusyTimeline()
+        tl.reserve(Reservation(0.0, 50.0, 99, "busy"))
+        d = linear_chain_dag(1, c_range=(2.0, 2.0))
+        specs = [
+            LogicalProcSpec(index=0, surplus=1.0, timeline=tl),
+            LogicalProcSpec(index=1, surplus=0.5),
+        ]
+        tm = build_trial_mapping(1, d, specs, 0.0, 0.0)
+        # The surplus proc (finish 4) beats the busy timeline proc (52);
+        # after compaction it is the only proc left.
+        spec = tm.procs[tm.assignment[0]]
+        assert spec.timeline is None and spec.surplus == 0.5
+        assert tm.finish[0] == pytest.approx(4.0)
+
+
+class TestTasksOn:
+    def test_groups_in_start_order(self):
+        tm = build_trial_mapping(1, paper_example_dag(), procs(0.5, 0.4), 3.0, 0.0)
+        assert tm.tasks_on(0) == [1, 3, 5]
+        assert tm.tasks_on(1) == [2, 4]

@@ -1,0 +1,48 @@
+"""Tests for protocol message payload builders."""
+
+from repro.core.messages import (
+    LOCK_TRANSPARENT,
+    MSG_ENROLL,
+    MSG_RESULT,
+    enroll_ack_payload,
+    enroll_payload,
+    estimate_payload_entries,
+    execute_payload,
+    validate_payload,
+)
+
+
+class TestPayloads:
+    def test_enroll(self):
+        p = enroll_payload(7, 0, [1, 2, 3])
+        assert p == {"job": 7, "initiator": 0, "members": [1, 2, 3]}
+        # list is copied, caller mutations do not leak
+        members = [1]
+        p2 = enroll_payload(1, 0, members)
+        members.append(9)
+        assert p2["members"] == [1]
+
+    def test_enroll_ack(self):
+        p = enroll_ack_payload(7, 3, 0.5, 0.5, 1.0, {1: 2.0})
+        assert p["site"] == 3 and p["distances"] == {1: 2.0}
+
+    def test_validate(self):
+        p = validate_payload(7, 0, {0: [("a", 1.0, 0.0, 5.0)]})
+        assert p["procs"][0][0][0] == "a"
+
+    def test_execute(self):
+        p = execute_payload(7, {0: 3}, {"a": 3}, {"a": []}, {"a": []}, 50.0)
+        assert p["permutation"] == {0: 3}
+        assert p["deadline"] == 50.0
+
+    def test_result_is_lock_transparent(self):
+        assert MSG_RESULT in LOCK_TRANSPARENT
+        assert MSG_ENROLL not in LOCK_TRANSPARENT
+
+
+class TestSizeEstimate:
+    def test_counts_nested(self):
+        small = estimate_payload_entries({"a": 1})
+        big = estimate_payload_entries({"a": 1, "b": [1, 2, 3], "c": {1: 1, 2: 2}})
+        assert big > small
+        assert big == 1 + 1 + 3 + 2

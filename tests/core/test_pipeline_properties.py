@@ -1,0 +1,127 @@
+"""Property tests across the mapper → adjustment → validation pipeline.
+
+The load-bearing invariant chain, on random DAGs and processor sets:
+
+* the Mapper's schedule S is always internally consistent (durations,
+  precedence + ω gaps, surplus ordering);
+* S* never exceeds S, and both scale correctly with the job release;
+* case (ii) adjustments always produce *validation-feasible* windows: an
+  idle site can endorse every used logical processor — meaning rejections
+  in that regime can only come from genuine resource contention, never
+  from the adjustment arithmetic itself;
+* windows always respect precedence semantics: r(succ) >= d(pred) + ω.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core.adjustment import adjust_trial_mapping, schedule_sstar
+from repro.core.mapper import build_trial_mapping
+from repro.core.trial_mapping import LogicalProcSpec
+from repro.core.validation import endorse_mapping
+from repro.graphs.generators import layered_dag, random_dag
+from repro.sched.intervals import BusyTimeline
+
+
+@st.composite
+def mapper_instances(draw):
+    kind = draw(st.sampled_from(["random", "layered"]))
+    seed = draw(st.integers(min_value=0, max_value=9999))
+    rng = np.random.default_rng(seed)
+    if kind == "random":
+        dag = random_dag(draw(st.integers(min_value=1, max_value=18)), rng, p_edge=0.3)
+    else:
+        dag = layered_dag(
+            draw(st.integers(min_value=1, max_value=4)),
+            draw(st.integers(min_value=1, max_value=4)),
+            rng,
+        )
+    n_procs = draw(st.integers(min_value=1, max_value=5))
+    surpluses = sorted(
+        (draw(st.floats(min_value=0.05, max_value=1.0)) for _ in range(n_procs)),
+        reverse=True,
+    )
+    procs = [LogicalProcSpec(index=i, surplus=s) for i, s in enumerate(surpluses)]
+    omega = draw(st.floats(min_value=0.0, max_value=10.0))
+    release = draw(st.floats(min_value=0.0, max_value=50.0))
+    return dag, procs, omega, release
+
+
+@given(mapper_instances())
+@settings(max_examples=80, deadline=None)
+def test_mapper_always_consistent(inst):
+    dag, procs, omega, release = inst
+    tm = build_trial_mapping(1, dag, procs, omega, release)
+    tm.validate_consistency()
+    assert min(tm.start.values()) >= release - 1e-9
+    # per-proc sequences never overlap
+    for p in tm.used_procs():
+        seq = tm.tasks_on(p)
+        for a, b in zip(seq, seq[1:]):
+            assert tm.start[b] >= tm.finish[a] - 1e-9
+
+
+@given(mapper_instances())
+@settings(max_examples=80, deadline=None)
+def test_sstar_bounds_and_consistency(inst):
+    dag, procs, omega, release = inst
+    tm = build_trial_mapping(1, dag, procs, omega, release)
+    ss = schedule_sstar(tm)
+    assert ss.makespan <= tm.makespan + 1e-6
+    for u, v in dag.edges:
+        assert ss.start[v] >= ss.finish[u] + tm.comm_delay(u, v) - 1e-9
+
+
+@given(mapper_instances(), st.floats(min_value=1.0, max_value=3.0))
+@settings(max_examples=80, deadline=None)
+def test_case_ii_windows_always_endorsable(inst, slack_factor):
+    """Case (ii) adjustment arithmetic never produces unusable windows."""
+    dag, procs, omega, release = inst
+    tm = build_trial_mapping(1, dag, procs, omega, release)
+    deadline = release + slack_factor * tm.makespan
+    adj = adjust_trial_mapping(tm, deadline)
+    assume(adj.case == "stretch")
+    payload = {
+        p: [(t, dag.complexity(t), tm.release[t], tm.deadline[t]) for t in tm.tasks_on(p)]
+        for p in tm.used_procs()
+    }
+    endorsed, _ = endorse_mapping(BusyTimeline(), 1, payload, now=0.0)
+    assert endorsed == sorted(tm.used_procs()), (
+        f"idle site could not endorse {set(tm.used_procs()) - set(endorsed)}"
+    )
+
+
+@given(mapper_instances(), st.floats(min_value=0.05, max_value=0.95))
+@settings(max_examples=80, deadline=None)
+def test_case_iii_windows_respect_precedence(inst, squeeze):
+    """Whatever case (iii) produces, the window algebra must encode
+    precedence: r(succ) >= d(pred) + ω(pred, succ)."""
+    dag, procs, omega, release = inst
+    tm = build_trial_mapping(1, dag, procs, omega, release)
+    ss = schedule_sstar(tm)
+    window = ss.makespan + squeeze * max(tm.makespan - ss.makespan, 0.0)
+    deadline = release + window
+    adj = adjust_trial_mapping(tm, deadline)
+    assume(adj.accepted)
+    for u, v in dag.edges:
+        assert tm.release[v] >= tm.deadline[u] + tm.comm_delay(u, v) - 1e-6
+    # sinks end exactly at the job deadline in case (iii)
+    if adj.case == "laxity":
+        for t in dag.sinks():
+            assert tm.deadline[t] == pytest.approx(deadline)
+
+
+@given(mapper_instances())
+@settings(max_examples=60, deadline=None)
+def test_rejection_is_sound(inst):
+    """Case (i) rejections are justified: the deadline really is below the
+    optimistic makespan."""
+    dag, procs, omega, release = inst
+    tm = build_trial_mapping(1, dag, procs, omega, release)
+    ss = schedule_sstar(tm)
+    tight_deadline = release + 0.9 * ss.makespan
+    adj = adjust_trial_mapping(tm, tight_deadline)
+    assert not adj.accepted
+    assert adj.case == "reject"

@@ -1,0 +1,176 @@
+"""Protocol fuzzing: random scenarios, global soundness invariants.
+
+Hypothesis generates arbitrary small scenarios (topology, speeds, job
+streams with arbitrary timing/deadlines/contention) and we assert the
+system-wide invariants that must hold *whatever* happens:
+
+* the simulation terminates (no livelock),
+* every job reaches a final decision,
+* every lock is released, every deferral queue drained,
+* accepted jobs execute fully, respecting processors, precedence and
+  transfer delays (the :mod:`repro.experiments.verify` audit),
+* rejected jobs never execute,
+* determinism: replaying the same scenario yields the same decisions.
+
+This is the test that earns confidence in the lock/deferral machinery —
+the part of the paper that is easiest to get subtly wrong.
+"""
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import RTDSConfig
+from repro.core.events import JobOutcome
+from repro.core.rtds import RTDSSite
+from repro.graphs.generators import random_dag
+from repro.metrics.collector import MetricsCollector
+from repro.routing.reference import dijkstra
+from repro.simnet.engine import Simulator
+from repro.simnet.topology import erdos_renyi, build_network
+from repro.types import EPS
+
+
+@dataclass
+class Scenario:
+    n_sites: int
+    topo_seed: int
+    h: int
+    enroll_mode: str
+    preemptive: bool
+    jobs: List[Tuple[int, float, int, float]]  # (origin, arrival, dag_seed, laxity)
+
+
+@st.composite
+def scenarios(draw) -> Scenario:
+    n = draw(st.integers(min_value=3, max_value=10))
+    jobs = []
+    n_jobs = draw(st.integers(min_value=1, max_value=8))
+    for _ in range(n_jobs):
+        origin = draw(st.integers(min_value=0, max_value=n - 1))
+        arrival = draw(st.floats(min_value=0.0, max_value=30.0))
+        dag_seed = draw(st.integers(min_value=0, max_value=10_000))
+        laxity = draw(st.floats(min_value=1.1, max_value=6.0))
+        jobs.append((origin, arrival, dag_seed, laxity))
+    return Scenario(
+        n_sites=n,
+        topo_seed=draw(st.integers(min_value=0, max_value=10_000)),
+        h=draw(st.integers(min_value=1, max_value=3)),
+        enroll_mode=draw(st.sampled_from(["refuse", "queue"])),
+        preemptive=draw(st.booleans()),
+        jobs=jobs,
+    )
+
+
+def run_scenario(sc: Scenario):
+    from repro.graphs.analysis import critical_path_length
+
+    cfg = RTDSConfig(
+        h=sc.h,
+        enroll_mode=sc.enroll_mode,
+        enroll_timeout=0.3 if sc.enroll_mode == "queue" else None,
+        validation_preemptive=sc.preemptive,
+        surplus_window=100.0,
+    )
+    metrics = MetricsCollector()
+    sim = Simulator()
+    topo = erdos_renyi(
+        sc.n_sites,
+        0.4,
+        np.random.default_rng(sc.topo_seed),
+        delay_range=(0.2, 1.0),
+    )
+    net = build_network(
+        topo, sim, lambda sid, n: RTDSSite(sid, n, cfg, metrics=metrics)
+    )
+    for sid in net.site_ids():
+        net.site(sid).start()
+    sim.run()
+
+    dags = {}
+    for jid, (origin, arrival, dag_seed, laxity) in enumerate(sc.jobs):
+        dag = random_dag(
+            3 + dag_seed % 8, np.random.default_rng(dag_seed), p_edge=0.3
+        )
+        dags[jid] = dag
+        site = net.site(origin)
+        deadline_rel = laxity * critical_path_length(dag)
+        sim.schedule_at(
+            sim.now + arrival,
+            lambda s=site, j=jid, d=dag, dr=deadline_rel: s.submit_job(
+                j, d, s.now + dr
+            ),
+        )
+    sim.run(until=sim.now + 2000.0)
+    assert sim.pending() == 0 or all(
+        ev.cancelled for ev in sim._heap
+    ), "simulation did not quiesce"
+    return net, metrics, dags, topo
+
+
+@given(scenarios())
+@settings(max_examples=60, deadline=None)
+def test_protocol_invariants(sc: Scenario):
+    net, metrics, dags, topo = run_scenario(sc)
+
+    # 1. every job decided
+    for rec in metrics.records():
+        assert rec.outcome is not JobOutcome.PENDING, rec
+
+    # 2. all locks free, deferral queues empty
+    for sid in net.site_ids():
+        site = net.site(sid)
+        assert not site.lock.locked, f"site {sid} lock leaked: {site.lock.owner}"
+        assert not site.lock.deferred, f"site {sid} deferred work leaked"
+        assert site.session is None
+
+    # 3. accepted jobs executed fully and soundly; rejected never ran
+    where = {}
+    windows = {}
+    for sid in net.site_ids():
+        ex = net.site(sid).executor
+        chunks = []
+        for key, rec in ex.records().items():
+            for s, e in rec.actual:
+                chunks.append((s, e))
+            if rec.done:
+                where[key] = sid
+                windows[key] = (rec.actual_start, rec.actual_end)
+        chunks.sort()
+        for (a1, a2), (b1, b2) in zip(chunks, chunks[1:]):
+            assert b1 >= a2 - EPS, f"site {sid} ran two chunks at once"
+
+    adj = topo.adjacency()
+    dist_from = {}
+    for rec in metrics.records():
+        dag = dags[rec.job]
+        keys = [(rec.job, t) for t in dag.topological_order()]
+        if rec.outcome.accepted:
+            assert all(k in where for k in keys), f"job {rec.job} incomplete"
+            for u, v in dag.edges:
+                ku, kv = (rec.job, u), (rec.job, v)
+                lag = 0.0
+                if where[ku] != where[kv]:
+                    if where[ku] not in dist_from:
+                        dist_from[where[ku]] = dijkstra(adj, where[ku])
+                    lag = dist_from[where[ku]][where[kv]]
+                assert windows[kv][0] >= windows[ku][1] + lag - 1e-6, (
+                    f"job {rec.job} edge {u}->{v} violated"
+                )
+        else:
+            assert not any(k in where for k in keys), (
+                f"rejected job {rec.job} executed"
+            )
+
+
+@given(scenarios())
+@settings(max_examples=15, deadline=None)
+def test_protocol_deterministic(sc: Scenario):
+    _, m1, _, _ = run_scenario(sc)
+    _, m2, _, _ = run_scenario(sc)
+    o1 = [(r.job, r.outcome, r.decided_at, r.completion_time) for r in m1.records()]
+    o2 = [(r.job, r.outcome, r.decided_at, r.completion_time) for r in m2.records()]
+    assert o1 == o2

@@ -1,0 +1,101 @@
+"""Tests for campaigns (multi-seed aggregation) and protocol statistics."""
+
+import math
+from dataclasses import replace
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.experiments.campaign import Aggregate, Campaign
+from repro.experiments.runner import ExperimentConfig, run_experiment
+from repro.metrics.protocol_stats import protocol_stats
+
+SMALL = ExperimentConfig(
+    topology_kwargs={"n": 8, "p": 0.4, "delay_range": (0.2, 0.8)},
+    rho=0.7,
+    duration=120.0,
+)
+
+
+class TestCampaign:
+    def test_aggregate_shape(self):
+        camp = Campaign(SMALL, seeds=[1, 2, 3])
+        agg = camp.run("local")
+        assert agg.n_runs == 3
+        assert 0.0 <= agg.mean["GR"] <= 1.0
+        assert agg.ci["GR"] >= 0.0
+        assert len(agg.per_seed["GR"]) == 3
+
+    def test_results_cached(self):
+        camp = Campaign(SMALL, seeds=[1, 2])
+        camp.run("local")
+        before = dict(camp._cache)
+        camp.run("local")
+        assert camp._cache == before  # no re-runs
+
+    def test_paired_comparison(self):
+        camp = Campaign(replace(SMALL, duration=200.0), seeds=[1, 2, 3])
+        diff = camp.compare("rtds", "local", metric="GR")
+        assert diff.n == 3
+        # cooperation never hurts on matched workloads
+        assert diff.mean_diff > -0.02
+
+    def test_unknown_metric_rejected(self):
+        camp = Campaign(SMALL, seeds=[1])
+        with pytest.raises(ConfigError):
+            camp.compare("rtds", "local", metric="speedup")
+
+    def test_empty_seeds_rejected(self):
+        with pytest.raises(ConfigError):
+            Campaign(SMALL, seeds=[])
+
+    def test_table_rows(self):
+        camp = Campaign(SMALL, seeds=[1, 2])
+        rows = camp.table(["local"])
+        assert rows[0]["label"] == "local"
+        assert "±" in str(rows[0]["GR"])
+
+    def test_aggregate_row_format(self):
+        agg = Aggregate(
+            label="x", n_runs=2, mean={"GR": 0.5}, ci={"GR": 0.1}, per_seed={}
+        )
+        assert agg.row()["GR"] == "0.5±0.1"
+
+
+class TestProtocolStats:
+    def traced_run(self):
+        cfg = replace(SMALL, algorithm="rtds", rho=1.0, duration=200.0, trace=True, seed=5)
+        return run_experiment(cfg)
+
+    def test_stats_populated(self):
+        res = self.traced_run()
+        st = protocol_stats(res.tracer)
+        assert st.protocol_runs > 0
+        assert 0.0 <= st.validation_failure_rate <= 1.0
+        if not math.isnan(st.refusal_rate):
+            assert 0.0 <= st.refusal_rate <= 1.0
+        assert st.mean_lock_hold > 0.0
+        assert st.mean_enrolled >= 1.0
+
+    def test_hosting_at_most_enrolled(self):
+        res = self.traced_run()
+        st = protocol_stats(res.tracer)
+        if not math.isnan(st.mean_hosting):
+            # hosts per job counts only non-initiator commit sites; it can
+            # never exceed enrollment plus the initiator itself
+            assert st.mean_hosting <= st.mean_enrolled + 1.0
+
+    def test_rows_render(self):
+        res = self.traced_run()
+        rows = protocol_stats(res.tracer).rows()
+        assert len(rows) == 7
+        from repro.experiments.reporting import format_table
+
+        assert "protocol runs" in format_table(rows)
+
+    def test_untracked_run_empty(self):
+        from repro.simnet.trace import Tracer
+
+        st = protocol_stats(Tracer())
+        assert st.protocol_runs == 0
+        assert math.isnan(st.mean_lock_hold)

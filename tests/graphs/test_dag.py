@@ -1,0 +1,152 @@
+"""Unit tests for the Dag structure."""
+
+import pytest
+
+from repro.errors import CycleError, DagError
+from repro.graphs.dag import Dag, Task, ancestors, descendants, chain_decomposition_width
+from repro.graphs.generators import paper_example_dag
+
+
+def make_diamond() -> Dag:
+    tasks = [Task("a", 1.0), Task("b", 2.0), Task("c", 3.0), Task("d", 4.0)]
+    return Dag(tasks, [("a", "b"), ("a", "c"), ("b", "d"), ("c", "d")])
+
+
+class TestTask:
+    def test_valid(self):
+        t = Task(1, 2.5)
+        assert t.tid == 1 and t.complexity == 2.5 and t.data_volume == 0.0
+
+    def test_zero_complexity_rejected(self):
+        with pytest.raises(DagError):
+            Task(1, 0.0)
+
+    def test_negative_complexity_rejected(self):
+        with pytest.raises(DagError):
+            Task(1, -1.0)
+
+    def test_negative_volume_rejected(self):
+        with pytest.raises(DagError):
+            Task(1, 1.0, data_volume=-0.5)
+
+    def test_frozen(self):
+        t = Task(1, 1.0)
+        with pytest.raises(Exception):
+            t.complexity = 2.0
+
+
+class TestDagConstruction:
+    def test_empty_rejected(self):
+        with pytest.raises(DagError):
+            Dag([])
+
+    def test_duplicate_task_rejected(self):
+        with pytest.raises(DagError, match="duplicate task"):
+            Dag([Task(1, 1.0), Task(1, 2.0)])
+
+    def test_unknown_edge_endpoint_rejected(self):
+        with pytest.raises(DagError, match="unknown"):
+            Dag([Task(1, 1.0)], [(1, 2)])
+        with pytest.raises(DagError, match="unknown"):
+            Dag([Task(2, 1.0)], [(1, 2)])
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(CycleError):
+            Dag([Task(1, 1.0)], [(1, 1)])
+
+    def test_duplicate_edge_rejected(self):
+        with pytest.raises(DagError, match="duplicate edge"):
+            Dag([Task(1, 1.0), Task(2, 1.0)], [(1, 2), (1, 2)])
+
+    def test_cycle_rejected(self):
+        with pytest.raises(CycleError):
+            Dag([Task(1, 1.0), Task(2, 1.0), Task(3, 1.0)], [(1, 2), (2, 3), (3, 1)])
+
+    def test_two_cycle_rejected(self):
+        with pytest.raises(CycleError):
+            Dag([Task(1, 1.0), Task(2, 1.0)], [(1, 2), (2, 1)])
+
+    def test_single_task(self):
+        d = Dag([Task(7, 3.0)])
+        assert len(d) == 1
+        assert d.sources() == (7,)
+        assert d.sinks() == (7,)
+        assert d.topological_order() == (7,)
+
+
+class TestDagQueries:
+    def test_len_contains_iter(self):
+        d = make_diamond()
+        assert len(d) == 4
+        assert "a" in d and "z" not in d
+        assert set(iter(d)) == {"a", "b", "c", "d"}
+
+    def test_task_lookup(self):
+        d = make_diamond()
+        assert d.task("b").complexity == 2.0
+        with pytest.raises(DagError):
+            d.task("zzz")
+
+    def test_adjacency(self):
+        d = make_diamond()
+        assert set(d.successors("a")) == {"b", "c"}
+        assert set(d.predecessors("d")) == {"b", "c"}
+        assert d.predecessors("a") == ()
+        assert d.successors("d") == ()
+
+    def test_sources_sinks(self):
+        d = make_diamond()
+        assert d.sources() == ("a",)
+        assert d.sinks() == ("d",)
+
+    def test_topological_order_respects_edges(self):
+        d = make_diamond()
+        order = d.topological_order()
+        pos = {t: i for i, t in enumerate(order)}
+        for u, v in d.edges:
+            assert pos[u] < pos[v]
+
+    def test_total_complexity(self):
+        assert make_diamond().total_complexity() == pytest.approx(10.0)
+
+    def test_edge_count(self):
+        assert make_diamond().edge_count() == 4
+
+    def test_edges_sorted_stable(self):
+        d1 = make_diamond()
+        d2 = make_diamond()
+        assert d1.edges == d2.edges
+
+    def test_complexity_shorthand(self):
+        d = make_diamond()
+        assert d.complexity("c") == 3.0
+
+
+class TestPaperDag:
+    def test_structure(self):
+        d = paper_example_dag()
+        assert len(d) == 5
+        assert set(d.edges) == {(1, 3), (2, 3), (1, 4), (3, 5), (4, 5)}
+        assert [d.complexity(t) for t in (1, 2, 3, 4, 5)] == [6, 4, 4, 2, 5]
+
+    def test_sources_and_sinks(self):
+        d = paper_example_dag()
+        assert set(d.sources()) == {1, 2}
+        assert d.sinks() == (5,)
+
+
+class TestTransitive:
+    def test_ancestors(self):
+        d = make_diamond()
+        assert ancestors(d, "d") == {"a", "b", "c"}
+        assert ancestors(d, "a") == frozenset()
+
+    def test_descendants(self):
+        d = make_diamond()
+        assert descendants(d, "a") == {"b", "c", "d"}
+        assert descendants(d, "d") == frozenset()
+
+    def test_chain_width(self):
+        assert chain_decomposition_width(make_diamond()) == 1
+        d = Dag([Task(1, 1.0), Task(2, 1.0)])
+        assert chain_decomposition_width(d) == 2

@@ -1,0 +1,93 @@
+"""Property-based tests (hypothesis) for the graph substrate."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs.analysis import (
+    bottom_levels,
+    critical_path,
+    critical_path_length,
+    longest_path_task_count,
+    top_levels,
+)
+from repro.graphs.dag import Dag, Task
+from repro.graphs.generators import layered_dag, random_dag
+from repro.graphs.serialization import dag_from_json, dag_to_json
+
+
+@st.composite
+def random_dags(draw):
+    n = draw(st.integers(min_value=1, max_value=24))
+    p = draw(st.floats(min_value=0.0, max_value=0.6))
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    return random_dag(n, np.random.default_rng(seed), p_edge=p)
+
+
+@given(random_dags())
+@settings(max_examples=60, deadline=None)
+def test_topological_order_is_valid(dag: Dag):
+    pos = {t: i for i, t in enumerate(dag.topological_order())}
+    assert len(pos) == len(dag)
+    for u, v in dag.edges:
+        assert pos[u] < pos[v]
+
+
+@given(random_dags())
+@settings(max_examples=60, deadline=None)
+def test_bottom_top_levels_bound_critical_path(dag: Dag):
+    bl, tl = bottom_levels(dag), top_levels(dag)
+    cp = critical_path_length(dag)
+    for t in dag:
+        # every task lies on a path of length tl + bl <= cp
+        assert tl[t] + bl[t] <= cp + 1e-9
+        assert bl[t] >= dag.complexity(t) - 1e-12
+    # the max over sources achieves cp
+    assert max(bl[s] for s in dag.sources()) == cp
+
+
+@given(random_dags())
+@settings(max_examples=60, deadline=None)
+def test_critical_path_is_consistent(dag: Dag):
+    path = critical_path(dag)
+    assert sum(dag.complexity(t) for t in path) <= critical_path_length(dag) + 1e-9
+    # abs equality (it *is* a critical path)
+    assert abs(
+        sum(dag.complexity(t) for t in path) - critical_path_length(dag)
+    ) <= 1e-9
+    for u, v in zip(path, path[1:]):
+        assert v in dag.successors(u)
+
+
+@given(random_dags())
+@settings(max_examples=60, deadline=None)
+def test_eta_bounds(dag: Dag):
+    eta = longest_path_task_count(dag)
+    cp_tasks = len(critical_path(dag))
+    assert 1 <= cp_tasks <= eta <= len(dag)
+
+
+@given(random_dags())
+@settings(max_examples=40, deadline=None)
+def test_serialization_roundtrip(dag: Dag):
+    d2 = dag_from_json(dag_to_json(dag))
+    assert d2.edges == dag.edges
+    for t in dag:
+        assert d2.complexity(t) == dag.complexity(t)
+
+
+@given(
+    st.integers(min_value=1, max_value=6),
+    st.integers(min_value=1, max_value=6),
+    st.integers(min_value=0, max_value=10_000),
+)
+@settings(max_examples=40, deadline=None)
+def test_layered_dag_depth(layers, width_, seed):
+    d = layered_dag(layers, width_, np.random.default_rng(seed), jitter=False)
+    assert len(d) == layers * width_
+    # depth == layers: the guaranteed predecessor chains span all layers
+    depth = {}
+    for t in d.topological_order():
+        preds = d.predecessors(t)
+        depth[t] = 1 + max((depth[p] for p in preds), default=-1)
+    assert max(depth.values()) == layers - 1

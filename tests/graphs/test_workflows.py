@@ -1,0 +1,124 @@
+"""Tests for the scientific-workflow DAG families."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DagError
+from repro.graphs.analysis import parallelism_profile, width
+from repro.graphs.workflows import (
+    mapreduce_dag,
+    montage_dag,
+    pipeline_dag,
+    scatter_gather_dag,
+)
+
+FAMILIES = [
+    lambda rng: mapreduce_dag(6, 3, rng),
+    lambda rng: montage_dag(6, rng),
+    lambda rng: pipeline_dag(4, 3, rng),
+    lambda rng: scatter_gather_dag(3, 8, rng),
+]
+
+
+@pytest.mark.parametrize("factory", FAMILIES)
+def test_valid_and_deterministic(factory):
+    d1 = factory(np.random.default_rng(5))
+    d2 = factory(np.random.default_rng(5))
+    assert d1.edges == d2.edges
+    pos = {t: i for i, t in enumerate(d1.topological_order())}
+    for u, v in d1.edges:
+        assert pos[u] < pos[v]
+
+
+class TestMapReduce:
+    def test_shape(self):
+        d = mapreduce_dag(4, 2)
+        assert len(d) == 1 + 4 + 2 + 1
+        assert len(d.sources()) == 1 and len(d.sinks()) == 1
+        # shuffle is all-to-all
+        assert d.edge_count() == 4 + 4 * 2 + 2
+
+    def test_width(self):
+        assert width(mapreduce_dag(8, 2)) == 8
+
+    def test_invalid(self):
+        with pytest.raises(DagError):
+            mapreduce_dag(0, 2)
+
+
+class TestMontage:
+    def test_single_sink(self):
+        d = montage_dag(5)
+        assert len(d.sinks()) == 1
+
+    def test_projection_feeds_two_diffs(self):
+        d = montage_dag(5)
+        # the first 5 ids are projections; each feeds 2 diffs + 1 bgcorrect
+        for p in range(5):
+            assert len(d.successors(p)) == 3
+
+    def test_small(self):
+        d = montage_dag(2)
+        assert len(d.sources()) == 2
+
+    def test_invalid(self):
+        with pytest.raises(DagError):
+            montage_dag(1)
+
+
+class TestPipeline:
+    def test_barriers(self):
+        d = pipeline_dag(3, 2)
+        assert len(d) == 6
+        profile = parallelism_profile(d)
+        assert profile == {0: 2, 1: 2, 2: 2}
+        # full barrier: every stage-1 task has 2 preds
+        for t in (2, 3):
+            assert len(d.predecessors(t)) == 2
+
+
+class TestScatterGather:
+    def test_width_shrinks(self):
+        d = scatter_gather_dag(3, 8)
+        profile = parallelism_profile(d)
+        widths = [profile[k] for k in sorted(profile)]
+        # scatter rounds: 8, then 4, then 2 workers
+        assert 8 in widths and 2 in widths
+
+    def test_single_source_sink(self):
+        d = scatter_gather_dag(2, 4)
+        assert len(d.sources()) == 1
+        assert len(d.sinks()) == 1
+
+    def test_invalid(self):
+        with pytest.raises(DagError):
+            scatter_gather_dag(0, 4)
+
+
+class TestEndToEnd:
+    def test_workflows_through_rtds(self):
+        """All four families run through the full protocol soundly."""
+        from dataclasses import replace
+
+        from repro.experiments.runner import ExperimentConfig, run_experiment
+        from repro.experiments.verify import assert_sound
+
+        idx = {"n": 0}
+
+        def factory(rng):
+            fams = FAMILIES
+            f = fams[idx["n"] % len(fams)]
+            idx["n"] += 1
+            return f(rng)
+
+        cfg = ExperimentConfig(
+            topology_kwargs={"n": 8, "p": 0.4, "delay_range": (0.2, 0.8)},
+            rho=0.6,
+            duration=150.0,
+            seed=9,
+            algorithm="rtds",
+            dag_factory=factory,
+        )
+        res = run_experiment(cfg)
+        assert res.summary.n_jobs > 0
+        assert_sound(res)

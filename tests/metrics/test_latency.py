@@ -1,0 +1,41 @@
+"""Tests for the protocol-phase latency breakdown."""
+
+import math
+
+import pytest
+
+from repro.experiments.paper_example import run_fig1_scenario
+from repro.metrics.latency import mean_phase_breakdown, phase_latencies
+
+
+class TestPhaseLatencies:
+    def test_fig1_scenario_breakdown(self):
+        tracer, metrics, jid = run_fig1_scenario()
+        lats = phase_latencies(tracer)
+        assert len(lats) == 1  # one protocol run (job 0 was local)
+        l = lats[0]
+        assert l.job == jid
+        # enroll (round trip, unit delays) then validation round trip
+        assert l.enroll is not None and l.enroll > 0
+        assert l.validate is not None and l.validate > 0
+        assert l.total is not None
+        # phases are parts of the total
+        assert l.enroll + l.validate <= l.total + 1e-9
+
+    def test_mean_breakdown(self):
+        tracer, _, _ = run_fig1_scenario()
+        mb = mean_phase_breakdown(tracer)
+        assert mb["runs"] == 1.0
+        assert mb["total"] >= mb["enroll+map"]
+
+    def test_local_only_jobs_excluded(self):
+        tracer, _, _ = run_fig1_scenario()
+        lats = phase_latencies(tracer)
+        assert all(l.job != 0 for l in lats)  # job 0 accepted locally
+
+    def test_empty_tracer(self):
+        from repro.simnet.trace import Tracer
+
+        mb = mean_phase_breakdown(Tracer())
+        assert mb["runs"] == 0.0
+        assert math.isnan(mb["total"])

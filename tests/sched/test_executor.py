@@ -1,0 +1,143 @@
+"""Tests for the compute-processor executor."""
+
+import pytest
+
+from repro.errors import SchedulingError
+from repro.sched.executor import PlanExecutor
+from repro.sched.intervals import Reservation
+from repro.sched.plan import SchedulingPlan
+from repro.simnet.engine import Simulator
+
+
+@pytest.fixture
+def plan():
+    return SchedulingPlan(0, surplus_window=100.0)
+
+
+@pytest.fixture
+def execu(sim, plan):
+    return PlanExecutor(sim, plan)
+
+
+def commit(plan, execu, reservations, gates=None):
+    plan.commit(reservations)
+    execu.notify_committed(reservations, gates)
+
+
+class TestBasicExecution:
+    def test_runs_at_reserved_times(self, sim, plan, execu):
+        done = []
+        execu.on_complete.append(lambda j, t, at: done.append((j, t, at)))
+        commit(plan, execu, [Reservation(2.0, 5.0, 1, "a"), Reservation(6.0, 7.0, 1, "b")])
+        sim.run()
+        assert done == [(1, "a", 5.0), (1, "b", 7.0)]
+        assert execu.record(1, "a").actual_start == 2.0
+        assert execu.record(1, "a").lateness == 0.0
+
+    def test_serialized_no_overlap(self, sim, plan, execu):
+        commit(plan, execu, [Reservation(0.0, 5.0, 1, "a"), Reservation(5.0, 8.0, 1, "b")])
+        sim.run()
+        ra, rb = execu.record(1, "a"), execu.record(1, "b")
+        assert rb.actual_start >= ra.actual_end - 1e-9
+
+    def test_later_insert_between_gaps(self, sim, plan, execu):
+        done = []
+        execu.on_complete.append(lambda j, t, at: done.append(t))
+        commit(plan, execu, [Reservation(0.0, 2.0, 1, "a"), Reservation(6.0, 8.0, 1, "c")])
+        # commit an earlier-gap reservation while the first is running
+        sim.schedule(1.0, lambda: commit(plan, execu, [Reservation(3.0, 5.0, 2, "b")]))
+        sim.run()
+        assert done == ["a", "b", "c"]
+
+    def test_duplicate_record_rejected(self, sim, plan, execu):
+        commit(plan, execu, [Reservation(0.0, 1.0, 1, "a")])
+        with pytest.raises(SchedulingError):
+            execu.notify_committed([Reservation(5.0, 6.0, 1, "a")])
+
+    def test_missing_record_raises(self, execu):
+        with pytest.raises(SchedulingError):
+            execu.record(9, "zz")
+
+
+class TestGates:
+    def test_gate_blocks_until_token(self, sim, plan, execu):
+        commit(
+            plan,
+            execu,
+            [Reservation(1.0, 3.0, 1, "a")],
+            gates={(1, "a"): {("result", 1, "p")}},
+        )
+        sim.schedule(5.0, lambda: execu.deliver_token(("result", 1, "p")))
+        sim.run()
+        rec = execu.record(1, "a")
+        assert rec.actual_start == 5.0
+        assert rec.actual_end == 7.0
+        assert rec.lateness == pytest.approx(4.0)
+
+    def test_done_token_chains_locally(self, sim, plan, execu):
+        commit(
+            plan,
+            execu,
+            [Reservation(0.0, 2.0, 1, "a"), Reservation(2.0, 4.0, 1, "b")],
+            gates={(1, "b"): {("done", 1, "a")}},
+        )
+        sim.run()
+        assert execu.record(1, "b").actual_start == 2.0
+
+    def test_early_token_remembered(self, sim, plan, execu):
+        execu.deliver_token(("result", 1, "p"))
+        commit(
+            plan,
+            execu,
+            [Reservation(1.0, 2.0, 1, "a")],
+            gates={(1, "a"): {("result", 1, "p")}},
+        )
+        sim.run()
+        assert execu.record(1, "a").actual_start == 1.0
+
+    def test_shared_token_opens_multiple_gates(self, sim, plan, execu):
+        commit(
+            plan,
+            execu,
+            [Reservation(0.0, 1.0, 1, "a"), Reservation(1.0, 2.0, 1, "b")],
+            gates={
+                (1, "a"): {("result", 1, "p")},
+                (1, "b"): {("result", 1, "p")},
+            },
+        )
+        sim.schedule(0.5, lambda: execu.deliver_token(("result", 1, "p")))
+        sim.run()
+        assert execu.record(1, "a").done and execu.record(1, "b").done
+
+    def test_work_conserving_skips_blocked_head(self, sim, plan, execu):
+        """If the slot-order head is gated, a later ready task runs first."""
+        commit(
+            plan,
+            execu,
+            [Reservation(0.0, 2.0, 1, "blocked"), Reservation(2.0, 4.0, 1, "free")],
+            gates={(1, "blocked"): {("result", 1, "x")}},
+        )
+        sim.schedule(10.0, lambda: execu.deliver_token(("result", 1, "x")))
+        sim.run()
+        rb, rf = execu.record(1, "blocked"), execu.record(1, "free")
+        assert rf.actual_start == 2.0  # ran at its slot despite blocked head
+        assert rb.actual_start == 10.0
+        assert rb.lateness == pytest.approx(10.0)
+
+
+class TestMaintenance:
+    def test_prune_done(self, sim, plan, execu):
+        commit(plan, execu, [Reservation(0.0, 1.0, 1, "a"), Reservation(2.0, 3.0, 2, "b")])
+        sim.run()
+        assert execu.prune_done_before(2.5) == 1
+        with pytest.raises(SchedulingError):
+            execu.record(1, "a")
+        assert execu.record(2, "b").done
+
+    def test_busy_flag(self, sim, plan, execu):
+        commit(plan, execu, [Reservation(0.0, 2.0, 1, "a")])
+        seen = []
+        sim.schedule(1.0, lambda: seen.append(execu.busy()))
+        sim.run()
+        assert seen == [True]
+        assert not execu.busy()

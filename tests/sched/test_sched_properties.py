@@ -1,0 +1,127 @@
+"""Property-based tests (hypothesis) for the scheduling substrate."""
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.sched.edf import demand_bound_satisfied
+from repro.sched.feasibility import WindowTask, try_schedule_window_tasks
+from repro.sched.intervals import BusyTimeline, Reservation
+from repro.sched.matching import hopcroft_karp, maximum_matching_bruteforce
+from repro.sched.preemptive import preemptive_chunks, preemptive_satisfiable
+
+
+@st.composite
+def timelines(draw):
+    tl = BusyTimeline()
+    t = 0.0
+    for i in range(draw(st.integers(min_value=0, max_value=5))):
+        gap = draw(st.floats(min_value=0.1, max_value=5.0))
+        dur = draw(st.floats(min_value=0.1, max_value=5.0))
+        t += gap
+        tl.reserve(Reservation(t, t + dur, 99, f"bg{i}"))
+        t += dur
+    return tl
+
+
+@st.composite
+def window_task_sets(draw):
+    n = draw(st.integers(min_value=1, max_value=6))
+    tasks = []
+    for i in range(n):
+        r = draw(st.floats(min_value=0.0, max_value=10.0))
+        dur = draw(st.floats(min_value=0.1, max_value=4.0))
+        slack = draw(st.floats(min_value=0.0, max_value=8.0))
+        tasks.append(WindowTask(1, f"t{i}", dur, r, r + dur + slack))
+    return tasks
+
+
+@given(timelines(), window_task_sets())
+@settings(max_examples=120, deadline=None)
+def test_nonpreemptive_slots_are_sound(tl, tasks):
+    """Any produced schedule must be conflict-free and inside windows."""
+    slots = try_schedule_window_tasks(tl, tasks, 0.0)
+    if slots is None:
+        return
+    by_task = {t.task: t for t in tasks}
+    check = tl.copy()
+    for s in slots:
+        w = by_task[s.task]
+        assert s.start >= w.release - 1e-9
+        assert s.end <= w.deadline + 1e-9
+        assert abs(s.duration - w.duration) <= 1e-9
+        check.reserve(s)  # raises on conflict
+    check.check_invariants()
+
+
+@given(timelines(), window_task_sets())
+@settings(max_examples=120, deadline=None)
+def test_preemptive_dominates_nonpreemptive(tl, tasks):
+    if try_schedule_window_tasks(tl, tasks, 0.0) is not None:
+        assert preemptive_satisfiable(tl, tasks, 0.0)
+
+
+@given(timelines(), window_task_sets())
+@settings(max_examples=120, deadline=None)
+def test_feasible_implies_demand_bound(tl, tasks):
+    """Constructive feasibility implies the processor-demand condition."""
+    if preemptive_satisfiable(tl, tasks, 0.0):
+        assert demand_bound_satisfied(tl, tasks, 0.0)
+
+
+@given(timelines(), window_task_sets())
+@settings(max_examples=100, deadline=None)
+def test_preemptive_chunks_sound(tl, tasks):
+    chunks = preemptive_chunks(tl, tasks, 0.0)
+    if chunks is None:
+        return
+    by_task = {t.task: t for t in tasks}
+    total = {}
+    check = tl.copy()
+    for c in chunks:
+        w = by_task[c.task]
+        assert c.start >= w.release - 1e-9
+        assert c.end <= w.deadline + 1e-9
+        total[c.task] = total.get(c.task, 0.0) + c.duration
+        check.reserve(c)
+    for t in tasks:
+        assert abs(total[t.task] - t.duration) <= 1e-6
+
+
+@st.composite
+def bipartite(draw):
+    nl = draw(st.integers(min_value=0, max_value=6))
+    nr = draw(st.integers(min_value=0, max_value=6))
+    adj = {}
+    for l in range(nl):
+        edges = draw(st.lists(st.integers(min_value=0, max_value=max(0, nr - 1)),
+                              max_size=nr, unique=True)) if nr else []
+        adj[l] = edges
+    return adj
+
+
+@given(bipartite())
+@settings(max_examples=150, deadline=None)
+def test_hopcroft_karp_optimal(adj):
+    m = hopcroft_karp(adj)
+    used = set()
+    for l, r in m.items():
+        assert r in adj[l]
+        assert r not in used
+        used.add(r)
+    assert len(m) == maximum_matching_bruteforce(adj)
+
+
+@given(timelines(), st.floats(min_value=0, max_value=20), st.floats(min_value=0.1, max_value=30))
+@settings(max_examples=100, deadline=None)
+def test_earliest_fit_is_earliest_and_fits(tl, release, dur):
+    deadline = release + dur + 50.0
+    s = tl.earliest_fit(dur, release, deadline)
+    assume(s is not None)
+    assert s >= release - 1e-12
+    assert tl.is_free(s, s + dur)
+    # minimality on a coarse grid: no earlier feasible start
+    step = dur / 4
+    probe = release
+    while probe < s - 1e-9:
+        assert not tl.is_free(probe, probe + dur)
+        probe += max(step, 0.05)

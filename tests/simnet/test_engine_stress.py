@@ -1,0 +1,82 @@
+"""Engine stress and ordering-law property tests."""
+
+import heapq
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simnet.engine import Simulator
+
+
+class TestStress:
+    def test_hundred_thousand_events(self):
+        """Scheduling throughput sanity: 1e5 events drain correctly."""
+        sim = Simulator()
+        counter = [0]
+        rng = np.random.default_rng(0)
+        times = np.cumsum(rng.exponential(0.01, size=100_000))
+
+        def cb():
+            counter[0] += 1
+
+        for t in times:
+            sim.schedule_at(float(t), cb)
+        sim.run()
+        assert counter[0] == 100_000
+        assert sim.now == pytest.approx(float(times[-1]))
+
+    def test_cascading_events(self):
+        """Events that spawn events: depth 10_000 without recursion issues."""
+        sim = Simulator()
+        depth = [0]
+
+        def step():
+            depth[0] += 1
+            if depth[0] < 10_000:
+                sim.schedule(0.001, step)
+
+        sim.schedule(0.0, step)
+        sim.run()
+        assert depth[0] == 10_000
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.floats(min_value=0.0, max_value=100.0),
+            st.integers(min_value=0, max_value=3),
+        ),
+        min_size=1,
+        max_size=60,
+    )
+)
+@settings(max_examples=80, deadline=None)
+def test_event_order_law(specs):
+    """Events fire in (time, priority, insertion) order — always."""
+    sim = Simulator()
+    fired = []
+    for i, (t, prio) in enumerate(specs):
+        sim.schedule_at(t, lambda i=i: fired.append(i), priority=prio)
+    sim.run()
+    assert len(fired) == len(specs)
+    keys = [(specs[i][0], specs[i][1], i) for i in fired]
+    assert keys == sorted(keys)
+
+
+@given(
+    st.lists(st.floats(min_value=0.0, max_value=50.0), min_size=1, max_size=40),
+    st.floats(min_value=0.0, max_value=60.0),
+)
+@settings(max_examples=60, deadline=None)
+def test_run_until_splits_cleanly(times, cut):
+    """run(until=cut); run() fires every event exactly once, in order."""
+    sim = Simulator()
+    fired = []
+    for i, t in enumerate(sorted(times)):
+        sim.schedule_at(t, lambda t=t: fired.append(t))
+    sim.run(until=cut)
+    assert all(t <= cut for t in fired)
+    sim.run()
+    assert fired == sorted(times)

@@ -1,0 +1,52 @@
+"""Tests for tracing and message accounting."""
+
+from repro.simnet.trace import MessageStats, Tracer
+
+
+class TestTracer:
+    def test_emit_and_query(self):
+        tr = Tracer()
+        tr.emit(1.0, "a", 0, job=7)
+        tr.emit(2.0, "b", 1)
+        tr.emit(3.0, "a", 2, job=8)
+        assert len(tr) == 3
+        assert [e.time for e in tr.of("a")] == [1.0, 3.0]
+        assert [e.site for e in tr.for_job(7)] == [0]
+
+    def test_disabled(self):
+        tr = Tracer(enabled=False)
+        tr.emit(1.0, "a", 0)
+        assert len(tr) == 0
+
+    def test_category_filter(self):
+        tr = Tracer(categories={"keep"})
+        tr.emit(1.0, "keep", 0)
+        tr.emit(1.0, "drop", 0)
+        assert len(tr) == 1
+
+    def test_clear(self):
+        tr = Tracer()
+        tr.emit(1.0, "a", 0)
+        tr.clear()
+        assert len(tr) == 0
+
+
+class TestMessageStats:
+    def test_record(self):
+        st = MessageStats()
+        st.record("X", 2.0)
+        st.record("X", 3.0)
+        st.record("Y", 1.0)
+        assert st.total == 3
+        assert st.count["X"] == 2
+        assert st.total_volume == 6.0
+
+    def test_snapshot_and_subtract(self):
+        a = MessageStats()
+        a.record("X", 1.0)
+        b = MessageStats()
+        b.record("X", 1.0)
+        b.record("X", 1.0)
+        b.record("Y", 1.0)
+        delta = b.subtract(a)
+        assert delta == {"X": 1, "Y": 1}

@@ -1,0 +1,60 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+def run_cli(capsys, *args):
+    rc = main(list(args))
+    out = capsys.readouterr().out
+    return rc, out
+
+
+class TestExample:
+    def test_example_prints_all_artifacts(self, capsys):
+        rc, out = run_cli(capsys, "example")
+        assert rc == 0
+        assert "Figure 3" in out
+        assert "Figure 4" in out
+        assert "Table 1" in out
+        assert "33" in out  # makespan M
+        assert "19" in out  # M*
+
+
+class TestRun:
+    def test_run_rtds(self, capsys):
+        rc, out = run_cli(
+            capsys, "run", "--algorithm", "rtds", "--sites", "8",
+            "--duration", "80", "--seed", "2",
+        )
+        assert rc == 0
+        assert "GR" in out
+
+    def test_run_local(self, capsys):
+        rc, out = run_cli(
+            capsys, "run", "--algorithm", "local", "--sites", "6", "--duration", "60"
+        )
+        assert rc == 0
+
+
+class TestSweeps:
+    def test_sweep_load(self, capsys):
+        rc, out = run_cli(
+            capsys, "sweep-load", "--sites", "6", "--duration", "50",
+            "--algorithms", "local", "--rhos", "0.4",
+        )
+        assert rc == 0
+        assert "E1" in out
+
+    def test_sweep_radius(self, capsys):
+        rc, out = run_cli(
+            capsys, "sweep-radius", "--sites", "6", "--duration", "40", "--radii", "1"
+        )
+        assert rc == 0
+        assert "E3" in out
+
+
+def test_unknown_command_rejected():
+    with pytest.raises(SystemExit):
+        main(["frobnicate"])

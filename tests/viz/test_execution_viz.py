@@ -1,0 +1,73 @@
+"""Tests for the actual-execution Gantt rendering."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.experiments.runner import ExperimentConfig, run_experiment
+from repro.viz.execution import execution_items, job_placement_summary, render_execution
+from repro.viz.gantt import render_gantt
+
+
+@pytest.fixture(scope="module")
+def run():
+    return run_experiment(
+        ExperimentConfig(
+            topology_kwargs={"n": 6, "p": 0.5, "delay_range": (0.2, 0.6)},
+            rho=0.7,
+            duration=100.0,
+            seed=4,
+            algorithm="rtds",
+        )
+    )
+
+
+class TestExecutionItems:
+    def test_filter_by_site(self, run):
+        all_items = execution_items(run)
+        one = execution_items(run, sites=[0])
+        assert len(one) <= len(all_items)
+        assert all(row.strip().startswith("site") for row, *_ in one)
+        assert all("  0" in row for row, *_ in one)
+
+    def test_filter_by_window(self, run):
+        t0 = run.setup_time
+        early = execution_items(run, t_min=0.0, t_max=t0 + 30.0)
+        for _, _, s, e in early:
+            assert s < t0 + 30.0
+
+    def test_filter_by_job(self, run):
+        items = execution_items(run)
+        some_job = int(items[0][1].split("/")[0])
+        only = execution_items(run, jobs=[some_job])
+        assert only
+        assert all(label.startswith(f"{some_job}/") for _, label, *_ in only)
+
+    def test_chunks_ordered_per_site(self, run):
+        items = execution_items(run, sites=[0])
+        times = sorted((s, e) for _, _, s, e in items)
+        for (s1, e1), (s2, e2) in zip(times, times[1:]):
+            assert s2 >= e1 - 1e-9  # single processor
+
+
+class TestRendering:
+    def test_render_contains_rows(self, run):
+        out = render_execution(run, t_max=run.setup_time + 50.0)
+        assert "actual execution" in out
+        assert "site" in out
+
+    def test_empty_window(self, run):
+        out = render_execution(run, t_min=1e8, t_max=1e9)
+        assert "empty schedule" in out
+
+    def test_gantt_width_respected(self):
+        out = render_gantt([("r", "x", 0.0, 10.0)], width=30)
+        row = [l for l in out.splitlines() if l.startswith("r ")][0]
+        assert len(row) <= 3 + 30 + 2
+
+    def test_placement_summary_sorted(self, run):
+        items = execution_items(run)
+        job = int(items[0][1].split("/")[0])
+        rows = job_placement_summary(run, job)
+        starts = [r[2] for r in rows]
+        assert starts == sorted(starts)

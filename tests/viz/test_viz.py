@@ -1,0 +1,43 @@
+"""Tests for ASCII visualisation."""
+
+from repro.experiments.paper_example import fig3_schedule, fig4_schedule
+from repro.graphs.generators import paper_example_dag
+from repro.viz.dagviz import render_dag
+from repro.viz.gantt import render_gantt, schedule_to_items
+
+
+class TestGantt:
+    def test_paper_fig3_renders(self):
+        out = render_gantt(schedule_to_items(fig3_schedule()), title="Fig 3")
+        assert "Fig 3" in out
+        assert "p1" in out and "p2" in out
+        lines = out.splitlines()
+        assert len(lines) >= 4  # title + 2 rows + axis
+
+    def test_empty(self):
+        assert "(empty schedule)" in render_gantt([])
+
+    def test_items_positioned(self):
+        out = render_gantt([("p1", "A", 0.0, 5.0), ("p1", "B", 5.0, 10.0)], width=20)
+        row = [l for l in out.splitlines() if l.startswith("p1")][0]
+        assert "A" in row and "B" in row
+        assert row.index("A") < row.index("B")
+
+    def test_schedule_to_items_one_based_procs(self):
+        items = schedule_to_items(fig4_schedule())
+        rows = {r for r, *_ in items}
+        assert rows == {"p1", "p2"}
+
+
+class TestDagViz:
+    def test_paper_fig2_renders(self):
+        out = render_dag(paper_example_dag())
+        assert "5 tasks" in out
+        assert "t1(c=6)" in out
+        assert "level 0" in out and "level 2" in out
+        assert "1->3" in out
+
+    def test_levels_correct(self):
+        out = render_dag(paper_example_dag())
+        l0 = [l for l in out.splitlines() if l.startswith("level 0")][0]
+        assert "t1" in l0 and "t2" in l0 and "t5" not in l0

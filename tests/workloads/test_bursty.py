@@ -1,0 +1,50 @@
+"""Tests for the bursty (on/off modulated Poisson) arrival process."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads.arrivals import bursty_arrivals
+
+
+class TestBursty:
+    def test_mean_rate(self, rng):
+        times = bursty_arrivals(
+            rng, rate_on=4.0, rate_off=0.5, period=10.0, duty=0.3, start=0.0, end=2000.0
+        )
+        expected = (4.0 * 0.3 + 0.5 * 0.7) * 2000.0
+        assert abs(len(times) - expected) < 6 * np.sqrt(expected)
+
+    def test_bursts_concentrate_arrivals(self, rng):
+        times = bursty_arrivals(
+            rng, rate_on=10.0, rate_off=0.1, period=10.0, duty=0.2, start=0.0, end=1000.0
+        )
+        # arrivals landing inside on-windows (phase < 2 of each period)
+        phase = times % 10.0
+        on = np.sum(phase < 2.0)
+        assert on > 0.85 * len(times)
+
+    def test_sorted_within_window(self, rng):
+        times = bursty_arrivals(rng, 2.0, 1.0, 5.0, 0.5, 10.0, 60.0)
+        assert np.all(np.diff(times) >= 0)
+        assert np.all((times >= 10.0) & (times < 60.0))
+
+    def test_zero_off_rate(self, rng):
+        times = bursty_arrivals(rng, 5.0, 0.0, 10.0, 0.5, 0.0, 100.0)
+        phase = times % 10.0
+        assert np.all(phase <= 5.0 + 1e-9)
+
+    def test_invalid(self, rng):
+        with pytest.raises(WorkloadError):
+            bursty_arrivals(rng, 1.0, 1.0, 0.0, 0.5, 0.0, 10.0)
+        with pytest.raises(WorkloadError):
+            bursty_arrivals(rng, 1.0, 1.0, 5.0, 1.0, 0.0, 10.0)
+        with pytest.raises(WorkloadError):
+            bursty_arrivals(rng, -1.0, 1.0, 5.0, 0.5, 0.0, 10.0)
+        with pytest.raises(WorkloadError):
+            bursty_arrivals(rng, 1.0, 1.0, 5.0, 0.5, 10.0, 10.0)
+
+    def test_deterministic(self):
+        a = bursty_arrivals(np.random.default_rng(1), 3.0, 0.5, 8.0, 0.4, 0.0, 200.0)
+        b = bursty_arrivals(np.random.default_rng(1), 3.0, 0.5, 8.0, 0.4, 0.0, 200.0)
+        assert np.array_equal(a, b)
