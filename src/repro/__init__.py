@@ -12,7 +12,9 @@ Public API map:
 * :mod:`repro.baselines` — local-only / centralized / focused-addressing /
   random-offload comparators;
 * :mod:`repro.workloads`, :mod:`repro.metrics`, :mod:`repro.experiments` —
-  sporadic workload generation, measurement, and the E1–E6 harness;
+  sporadic workload generation, measurement, and the E1–E7 harness;
+* :mod:`repro.faults` — fault injection (link/site outages, message loss,
+  delay jitter) with deterministic seeded churn;
 * :mod:`repro.viz` — ASCII Gantt/DAG rendering.
 
 Quickstart::
@@ -26,6 +28,7 @@ from repro.core.config import RTDSConfig
 from repro.core.events import JobOutcome, JobRecord
 from repro.core.rtds import RTDSSite
 from repro.experiments.runner import ExperimentConfig, RunResult, run_experiment
+from repro.faults import FaultInjector, FaultPlan
 from repro.graphs.dag import Dag, Task
 from repro.metrics.collector import MetricsCollector
 from repro.simnet.engine import Simulator
@@ -42,6 +45,8 @@ __all__ = [
     "ExperimentConfig",
     "RunResult",
     "run_experiment",
+    "FaultInjector",
+    "FaultPlan",
     "Dag",
     "Task",
     "MetricsCollector",

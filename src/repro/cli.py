@@ -4,8 +4,10 @@
 
     rtds example              # the paper's worked example (Figs 2-4, Table 1)
     rtds run --algorithm rtds --rho 0.6 --sites 16
+    rtds run --faults "loss=0.05,jitter=0.5,links=4,sites=1" --seed 3
     rtds sweep-load --algorithms rtds,local --rhos 0.3,0.6,0.9
     rtds sweep-size --algorithms rtds,focused --sizes 16,36,64
+    rtds sweep-faults --losses 0.0,0.05,0.15,0.3 --runs 3
 """
 
 from __future__ import annotations
@@ -65,6 +67,16 @@ def _cmd_example(_args: argparse.Namespace) -> int:
 
 
 def _base_config(args: argparse.Namespace) -> ExperimentConfig:
+    faults = None
+    rtds_cfg = RTDSConfig(h=args.h)
+    if getattr(args, "faults", None):
+        from repro.faults import FaultPlan, hardened
+
+        faults = FaultPlan.from_spec(args.faults)
+        if not faults.is_zero():
+            rtds_cfg = hardened(
+                rtds_cfg, ack_timeout=args.ack_timeout, ack_retries=args.ack_retries
+            )
     return ExperimentConfig(
         topology="erdos_renyi",
         topology_kwargs={"n": args.sites, "p": min(1.0, 4.0 / max(1, args.sites - 1))},
@@ -72,7 +84,8 @@ def _base_config(args: argparse.Namespace) -> ExperimentConfig:
         duration=args.duration,
         laxity_factor=args.laxity,
         seed=args.seed,
-        rtds=RTDSConfig(h=args.h),
+        rtds=rtds_cfg,
+        faults=faults,
     )
 
 
@@ -82,6 +95,30 @@ def _cmd_run(args: argparse.Namespace) -> int:
     print(format_table([res.summary.row()], title=f"run: {args.algorithm}"))
     if res.summary.rejected_by:
         print(format_kv("rejections", res.summary.rejected_by))
+    if res.faults is not None:
+        from repro.metrics.faults import fault_report
+
+        print(format_table(fault_report(res).rows(), title="fault report"))
+    return 0
+
+
+def _cmd_sweep_faults(args: argparse.Namespace) -> int:
+    from repro.experiments.campaign import sweep_fault_plans
+    from repro.faults import FaultPlan, hardened
+
+    base = _base_config(args)
+    if not base.rtds.hardened:  # --faults absent: _base_config didn't harden
+        base = replace(
+            base,
+            rtds=hardened(base.rtds, ack_timeout=args.ack_timeout, ack_retries=args.ack_retries),
+        )
+    losses = [float(x) for x in args.losses.split(",")]
+    template = (
+        FaultPlan.from_spec(args.faults) if getattr(args, "faults", None) else FaultPlan()
+    )
+    plans = [(f"loss={p:g}", template.scaled(p)) for p in losses]
+    rows = sweep_fault_plans(base, plans, seeds=tuple(range(args.runs)))
+    print(format_table(rows, title="E7: guarantee ratio vs message-loss rate"))
     return 0
 
 
@@ -131,10 +168,22 @@ def main(argv: List[str] | None = None) -> int:
         p.add_argument("--laxity", type=float, default=3.0)
         p.add_argument("--seed", type=int, default=0)
         p.add_argument("--h", type=int, default=2)
+        p.add_argument(
+            "--faults",
+            default=None,
+            help='fault spec, e.g. "loss=0.05,jitter=0.5,links=4,sites=1,downtime=20"',
+        )
+        p.add_argument("--ack-timeout", type=float, default=5.0, dest="ack_timeout")
+        p.add_argument("--ack-retries", type=int, default=1, dest="ack_retries")
 
     p_run = sub.add_parser("run", help="one experiment")
     common(p_run)
     p_run.add_argument("--algorithm", default="rtds")
+
+    p_sf = sub.add_parser("sweep-faults", help="E7 guarantee vs loss-rate sweep")
+    common(p_sf)
+    p_sf.add_argument("--losses", default="0.0,0.05,0.15,0.3")
+    p_sf.add_argument("--runs", type=int, default=2)
 
     p_sl = sub.add_parser("sweep-load", help="E1 load sweep")
     common(p_sl)
@@ -162,6 +211,7 @@ def main(argv: List[str] | None = None) -> int:
         "sweep-size": _cmd_sweep_size,
         "sweep-radius": _cmd_sweep_radius,
         "sweep-ablations": _cmd_ablations,
+        "sweep-faults": _cmd_sweep_faults,
     }
     return commands[args.command](args)
 

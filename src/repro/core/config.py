@@ -68,6 +68,31 @@ class RTDSConfig:
         windows. Disable to measure the §13 motivation: without it, the
         pure propagation-delay model under-estimates transfers and accepted
         jobs start slipping.
+    ack_timeout:
+        Protocol hardening (DESIGN.md "Fault model"): grace beyond the
+        sphere's physical round trip (propagation + §13 transfer time +
+        management overhead, computed by the initiator) that an
+        ENROLL_ACK / VALIDATE_ACK / EXECUTE_ACK round may take before
+        retransmitting to the silent members. ``None`` (default) = the
+        paper's loss-less model — wait forever, zero behaviour change.
+        Required whenever a nonzero :class:`~repro.faults.plan.FaultPlan`
+        is installed. In ``queue`` enroll mode the enrollment round keeps
+        the queue-mode deadline-fraction timer instead (deferral is
+        intentional there, not death); VALIDATE/EXECUTE hardening applies
+        in both modes.
+    ack_retries:
+        Retransmissions per hardened phase before degrading: silent
+        enrollees are treated as refusals, silent validators as empty
+        endorsements, unreachable executors as lost members.
+    member_lease:
+        Member-side lock lease: a site enrolled in a foreign ACS releases
+        its lock unilaterally after this long without contact from the
+        initiator (VALIDATE/EXECUTE/UNLOCK all renew or settle it).
+        ``None`` (default): hardened members use the lease hint the
+        initiator ships in ENROLL — sized from the sphere's worst round
+        trip, which only the initiator knows — falling back to
+        ``4 × ack_timeout × (ack_retries + 1)`` for hint-less messages.
+        Set explicitly to pin the lease regardless of hints.
     """
 
     h: int = 2
@@ -84,6 +109,9 @@ class RTDSConfig:
     volume_aware_omega: bool = True
     #: §10 insertion order for local satisfiability: "edf" or "llf"
     validation_order: str = "edf"
+    ack_timeout: Optional[float] = None
+    ack_retries: int = 1
+    member_lease: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.h < 1:
@@ -110,6 +138,30 @@ class RTDSConfig:
             raise ConfigError(
                 f"validation_order must be 'edf' or 'llf', got {self.validation_order!r}"
             )
+        if self.ack_timeout is not None and self.ack_timeout <= 0:
+            raise ConfigError(f"ack_timeout must be > 0, got {self.ack_timeout}")
+        if self.ack_retries < 0:
+            raise ConfigError(f"ack_retries must be >= 0, got {self.ack_retries}")
+        if self.member_lease is not None and self.member_lease <= 0:
+            raise ConfigError(f"member_lease must be > 0, got {self.member_lease}")
+        if self.member_lease is not None and self.ack_timeout is None:
+            # a lease without the hardened stale-message paths would crash
+            # the run the first time an expired member sees VALIDATE/EXECUTE
+            raise ConfigError("member_lease requires ack_timeout (hardened mode)")
+
+    @property
+    def hardened(self) -> bool:
+        """True when the loss-tolerant protocol extensions are active."""
+        return self.ack_timeout is not None
+
+    @property
+    def effective_lease(self) -> Optional[float]:
+        """The member lock lease actually applied (None = no lease)."""
+        if self.member_lease is not None:
+            return self.member_lease
+        if self.ack_timeout is None:
+            return None
+        return 4.0 * self.ack_timeout * (self.ack_retries + 1)
 
     @property
     def pcs_phases(self) -> int:

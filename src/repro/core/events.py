@@ -31,6 +31,10 @@ class JobOutcome(enum.Enum):
     REJECTED_VALIDATION = "rejected_validation"
     #: deadline passed while the job waited for a lock / protocol budget
     REJECTED_TIMEOUT = "rejected_timeout"
+    #: arrival site was partitioned by fault injection; the job never
+    #: reached a scheduler (counted against the guarantee ratio — churn
+    #: must not make the metric look better by shrinking the denominator)
+    LOST_SITE_DOWN = "lost_site_down"
 
     @property
     def accepted(self) -> bool:

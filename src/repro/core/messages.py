@@ -7,7 +7,9 @@ estimated realistically and traces stay readable. Schema per type:
     ``targets``: remaining destination list, ``inner``: (mtype, payload).
 ``ENROLL`` (§8)
     ``job``, ``initiator``, ``members``: the PCS list so the receiver knows
-    which pairwise distances to report.
+    which pairwise distances to report. Hardened mode adds ``lease``: the
+    lock lease the member should hold, sized by the initiator from the
+    sphere's worst round trip.
 ``ENROLL_ACK``
     ``job``, ``site``, ``surplus``, ``busyness``, ``speed``,
     ``distances``: {member: delay} from the replier's routing table.
@@ -23,6 +25,9 @@ estimated realistically and traces stay readable. Schema per type:
     ``job``, ``permutation``: {proc: site}, ``host``: {task: site},
     ``preds``: {task: [preds]}, ``succs``: {task: [succs]},
     ``deadline``: job deadline (metrics), code size is the message size.
+``EXECUTE_ACK`` (hardening; only with ``RTDSConfig.ack_timeout`` set)
+    ``job``, ``site`` — member confirms it processed EXECUTE, stopping the
+    initiator's retransmission loop.
 ``UNLOCK``
     ``job`` — rejection or non-involvement; receiver releases its lock.
 ``RESULT``
@@ -40,6 +45,7 @@ MSG_ENROLL_REFUSE = "ENROLL_REFUSE"
 MSG_VALIDATE = "VALIDATE"
 MSG_VALIDATE_ACK = "VALIDATE_ACK"
 MSG_EXECUTE = "EXECUTE"
+MSG_EXECUTE_ACK = "EXECUTE_ACK"
 MSG_UNLOCK = "UNLOCK"
 MSG_RESULT = "RESULT"
 

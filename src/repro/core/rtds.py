@@ -35,6 +35,7 @@ from repro.core.messages import (
     MSG_ENROLL_ACK,
     MSG_ENROLL_REFUSE,
     MSG_EXECUTE,
+    MSG_EXECUTE_ACK,
     MSG_RESULT,
     MSG_SPHERE,
     MSG_UNLOCK,
@@ -104,6 +105,22 @@ class RTDSSite(SiteBase):
         #: jobs submitted before routing finished
         self._pre_routing: List[_JobCtx] = []
         self._enroll_timer = None
+        # --- hardening state (all dormant unless config.ack_timeout set) ---
+        #: initiator-side per-phase ack timer (enroll / validate rounds)
+        self._ack_timer = None
+        #: retransmissions already spent in the current hardened phase
+        self._phase_attempts = 0
+        #: initiator-side EXECUTE retransmission: job -> round state
+        self._pending_execute: Dict[JobId, Dict[str, Any]] = {}
+        #: member-side: jobs whose EXECUTE this site processed ->
+        #: (initiator, when) — kept for duplicate re-acks, pruned by age
+        self._exec_done: Dict[JobId, Tuple[SiteId, Time]] = {}
+        #: member-side cached VALIDATE_ACK endorsements (idempotent re-ack)
+        self._validate_ack: Dict[JobId, List[LogicalProc]] = {}
+        #: member-side lock lease timer and the (initiator, job) it guards
+        self._lease_timer = None
+        self._lease_owner: Optional[Tuple[SiteId, JobId]] = None
+        self._lease_duration: Time = 0.0
 
         self.on(MSG_SPHERE, self._h_sphere)
         self.on(MSG_ENROLL, self._h_enroll)
@@ -112,8 +129,14 @@ class RTDSSite(SiteBase):
         self.on(MSG_VALIDATE, self._h_validate)
         self.on(MSG_VALIDATE_ACK, self._h_validate_ack)
         self.on(MSG_EXECUTE, self._h_execute)
+        self.on(MSG_EXECUTE_ACK, self._h_execute_ack)
         self.on(MSG_UNLOCK, self._h_unlock)
         self.on(MSG_RESULT, self._h_result)
+
+    def _count(self, name: str) -> None:
+        """Count a named protocol event on the metrics collector."""
+        if self.metrics is not None and hasattr(self.metrics, "count_event"):
+            self.metrics.count_event(name)
 
     # ------------------------------------------------------------------
     # initialization
@@ -214,25 +237,56 @@ class RTDSSite(SiteBase):
         self.session = session
         sphere_sites = sorted([*members, self.sid])
         self.trace("acs.enroll", job=ctx.job, asked=len(members))
+        queue_budget = 0.0
+        if self.config.enroll_mode == "queue":
+            frac = self.config.enroll_timeout or 0.25
+            queue_budget = max(0.0, (ctx.deadline - self.now) * frac)
+        payload = {"job": ctx.job, "initiator": self.sid, "members": sphere_sites}
+        if self.config.hardened:
+            # In queue mode the enrollment may legitimately idle for the
+            # whole collection budget (deferred members answer at their own
+            # unlock, with no lease-renewing contact in between) — early
+            # enrollees must not expire while the initiator is still
+            # lawfully waiting.
+            payload["lease"] = self._lease_hint(members, ctx.dag) + queue_budget
         sphere_broadcast(
             self,
             members,
             MSG_ENROLL,
-            {"job": ctx.job, "initiator": self.sid, "members": sphere_sites},
+            payload,
             size=float(2 + len(sphere_sites)),
         )
         if self.config.enroll_mode == "queue":
-            frac = self.config.enroll_timeout or 0.25
-            budget = max(0.0, (ctx.deadline - self.now) * frac)
             job = ctx.job
             self._enroll_timer = self.sim.schedule(
-                budget, lambda: self._enroll_timeout(job)
+                queue_budget, lambda: self._enroll_timeout(job)
+            )
+        # In queue mode a locked member *intentionally* defers its answer
+        # until unlock — the deadline-fraction timer above already bounds
+        # the wait, and a hardened timer could not tell "queue-deferred"
+        # from "crashed" (it would demote waiting members to refusals and
+        # a retransmission would enqueue a second deferred handler). The
+        # hardened enroll round therefore only arms in refuse mode.
+        if self.config.hardened and self.config.enroll_mode == "refuse":
+            self._phase_attempts = 0
+            self._arm_ack_timer(
+                lambda job=ctx.job: self._enroll_ack_timeout(job),
+                members,
+                size=float(5 + len(sphere_sites)),
             )
 
     def _h_enroll(self, msg: Message) -> None:
         job = msg.payload["job"]
         initiator = msg.payload["initiator"]
         members = msg.payload["members"]
+        if self.config.hardened and self.lock.held_by(initiator, job):
+            # Retransmitted ENROLL (our ACK was lost): re-answer idempotently.
+            # Contact from a live initiator also renews the lease.
+            self.trace("acs.re_ack", job=job, initiator=initiator)
+            self._count("enroll_re_ack")
+            self._renew_lease(initiator, job)
+            self._send_enroll_ack(job, initiator, members)
+            return
         if self.lock.locked:
             if self.config.enroll_mode == "refuse":
                 self.send_to(
@@ -246,20 +300,24 @@ class RTDSSite(SiteBase):
                 self.lock.defer(lambda: self._h_enroll(msg))
             return
         self.lock.acquire(initiator, job)
+        self._arm_lease(initiator, job, msg.payload.get("lease"))
         surplus = self.plan.surplus(self.now)
+        self.trace("acs.enrolled", job=job, initiator=initiator, surplus=round(surplus, 4))
+        self._send_enroll_ack(job, initiator, members)
+
+    def _send_enroll_ack(self, job: JobId, initiator: SiteId, members: List[SiteId]) -> None:
         distances = {
             m: self.routing.table.entry(m).distance
             for m in members
             if m != self.sid and m in self.routing.table
         }
-        self.trace("acs.enrolled", job=job, initiator=initiator, surplus=round(surplus, 4))
         self.send_to(
             initiator,
             MSG_ENROLL_ACK,
             {
                 "job": job,
                 "site": self.sid,
-                "surplus": surplus,
+                "surplus": self.plan.surplus(self.now),
                 "busyness": self.plan.busyness(self.now),
                 "speed": self.speed,
                 "distances": distances,
@@ -269,10 +327,22 @@ class RTDSSite(SiteBase):
 
     def _h_enroll_ack(self, msg: Message) -> None:
         job = msg.payload["job"]
+        site = msg.payload["site"]
         s = self.session
+        if (
+            s is not None
+            and s.job == job
+            and s.phase != AcsSession.ENROLLING
+            and site in s.enrolled
+        ):
+            # Duplicate ack of an enrolled member (retransmission race):
+            # the member IS in the session — unlocking it would corrupt the
+            # validation round. Ignore.
+            self.trace("acs.dup_ack", job=job, member=site)
+            return
         if s is None or s.job != job or s.phase != AcsSession.ENROLLING:
             # Stale ack (timeout already fired, or session gone): unlock it.
-            self.send_to(msg.payload["site"], MSG_UNLOCK, {"job": job}, size=1.0)
+            self.send_to(site, MSG_UNLOCK, {"job": job}, size=1.0)
             return
         s.record_ack(
             EnrolledSite(
@@ -303,6 +373,222 @@ class RTDSSite(SiteBase):
         self._start_mapping()
 
     # ------------------------------------------------------------------
+    # hardening: ack timers, retransmission, leases (DESIGN.md "Fault model")
+    # ------------------------------------------------------------------
+
+    def _lease_hint(self, members, dag: Dag) -> Time:
+        """Lock lease the initiator asks its members to hold.
+
+        Only the initiator knows the sphere's worst round trip, so it sizes
+        the lease and ships it in ENROLL: three ask→answer rounds (enroll,
+        validate, execute), each retried up to ``ack_retries`` times, plus
+        the mapper's simulated cost. A member-side guess from its own
+        distance would make near members of a wide sphere expire mid-way
+        through a perfectly healthy session. The round size is bounded by
+        the biggest message of the session — the EXECUTE task-code dispatch.
+        """
+        rounds = 3.0 * (self.config.ack_retries + 1)
+        size = max(estimate_code_size(dag), float(6 + len(members)))
+        return rounds * self._round_budget(members, size) + self.config.mapper_cost
+
+    def _round_budget(self, members, size: float = 0.0) -> Time:
+        """Time to allow one ask→answer round before calling members silent.
+
+        The initiator knows its delay distances (§2) and its adjacent link
+        throughputs (§13), so the budget is the physical round trip to the
+        farthest queried member — propagation, per-hop transfer time of a
+        ``size``-unit message, management overhead — plus ``ack_timeout``
+        as grace. A flat timeout would misfire on large spheres or under
+        the data-volume model and retransmit to perfectly healthy members.
+        """
+        dmax = 0.0
+        hmax = self.config.h
+        if self.pcs is not None and members:
+            dmax = max(self.pcs.distance.get(m, 0.0) for m in members)
+            hmax = max(self.pcs.hops.get(m, self.config.h) for m in members)
+        rtt = 2.0 * dmax + 2.0 * self.mgmt_overhead
+        if size > 0.0:
+            tps = [self.network.link(self.sid, nb).throughput for nb in self.neighbors()]
+            tps = [t for t in tps if t is not None]
+            if tps:
+                # Request out + ack back, each paying size/throughput per
+                # hop — and the broadcast's fan-out serializes on the FIFO
+                # links near the initiator (as do the returning acks), so
+                # the last copy waits behind up to |members| earlier ones.
+                # Bounding the ack by the request keeps this an
+                # over-estimate (the paper's safety direction, like ω).
+                n = max(1, len(members))
+                rtt += 2.0 * (hmax + n) * size / min(tps)
+        return rtt + self.config.ack_timeout
+
+    def _arm_ack_timer(self, callback, members=(), size: float = 0.0) -> None:
+        self._cancel_ack_timer()
+        self._ack_timer = self.sim.schedule(self._round_budget(members, size), callback)
+
+    def _cancel_ack_timer(self) -> None:
+        if self._ack_timer is not None:
+            self.sim.cancel(self._ack_timer)
+            self._ack_timer = None
+
+    def _enroll_ack_timeout(self, job: JobId) -> None:
+        """Hardened ENROLL round expired: retransmit to, then give up on,
+        the silent members (crashed, partitioned, or ack lost)."""
+        self._ack_timer = None
+        s = self.session
+        if s is None or s.job != job or s.phase != AcsSession.ENROLLING:
+            return
+        silent = [m for m in s.asked if m not in s.enrolled and m not in s.refused]
+        if not silent:  # pragma: no cover - completion should have fired
+            return
+        if self._phase_attempts < self.config.ack_retries:
+            self._phase_attempts += 1
+            self.trace("acs.retransmit", job=job, to=silent, attempt=self._phase_attempts)
+            self._count("enroll_retransmit")
+            sphere_sites = sorted([*s.asked, self.sid])
+            sphere_broadcast(
+                self,
+                silent,
+                MSG_ENROLL,
+                {
+                    "job": job,
+                    "initiator": self.sid,
+                    "members": sphere_sites,
+                    "lease": self._lease_hint(list(s.asked), s.ctx.dag),
+                },
+                size=float(2 + len(sphere_sites)),
+            )
+            self._arm_ack_timer(
+                lambda: self._enroll_ack_timeout(job),
+                silent,
+                size=float(5 + len(sphere_sites)),
+            )
+            return
+        # Degrade: treat the silent members as refusals and proceed with
+        # whoever answered (possibly nobody -> REJECTED_NO_SPHERE).
+        self.trace("acs.gave_up", job=job, lost=silent)
+        self._count("enroll_gave_up")
+        for m in silent:
+            s.record_refusal(m)
+        if s.enrollment_complete():
+            self._start_mapping()
+
+    def _validate_ack_timeout(self, job: JobId) -> None:
+        """Hardened VALIDATE round expired: retransmit, then count the
+        silent members as endorsing nothing."""
+        self._ack_timer = None
+        s = self.session
+        if s is None or s.job != job or s.phase != AcsSession.VALIDATING:
+            return
+        silent = [m for m in s.acs_members() if m not in s.endorsements]
+        if not silent:  # pragma: no cover - completion should have fired
+            return
+        if self._phase_attempts < self.config.ack_retries:
+            self._phase_attempts += 1
+            self.trace("validate.retransmit", job=job, to=silent, attempt=self._phase_attempts)
+            self._count("validate_retransmit")
+            procs = self._validate_payload()
+            size = float(sum(len(v) for v in procs.values()) + 2)
+            sphere_broadcast(
+                self,
+                silent,
+                MSG_VALIDATE,
+                {"job": job, "initiator": self.sid, "procs": procs},
+                size=size,
+            )
+            self._arm_ack_timer(lambda: self._validate_ack_timeout(job), silent, size=size)
+            return
+        self.trace("validate.gave_up", job=job, lost=silent)
+        self._count("validate_gave_up")
+        for m in silent:
+            s.record_endorsement(m, [])
+        if s.validation_complete():
+            self._decide_permutation()
+
+    def _execute_ack_timeout(self, job: JobId) -> None:
+        """Hardened EXECUTE round expired: retransmit to the unacked
+        members, then accept the loss (their task share is gone; the miss
+        shows up in the effective ratio — churn is not free)."""
+        pe = self._pending_execute.get(job)
+        if pe is None:
+            return
+        pe["timer"] = None
+        if pe["attempts"] < self.config.ack_retries:
+            pe["attempts"] += 1
+            targets = sorted(pe["unacked"])
+            self.trace("execute.retransmit", job=job, to=targets, attempt=pe["attempts"])
+            self._count("execute_retransmit")
+            sphere_broadcast(self, targets, MSG_EXECUTE, pe["payload"], size=pe["size"])
+            pe["timer"] = self.sim.schedule(
+                self._round_budget(targets, pe["size"]),
+                lambda: self._execute_ack_timeout(job),
+            )
+            return
+        self.trace("execute.gave_up", job=job, lost=sorted(pe["unacked"]))
+        self._count("execute_gave_up")
+        del self._pending_execute[job]
+
+    def _h_execute_ack(self, msg: Message) -> None:
+        job = msg.payload["job"]
+        pe = self._pending_execute.get(job)
+        if pe is None:
+            return  # late ack of an already-settled round
+        pe["unacked"].discard(msg.payload["site"])
+        if not pe["unacked"]:
+            if pe["timer"] is not None:
+                self.sim.cancel(pe["timer"])
+            del self._pending_execute[job]
+            self.trace("execute.all_acked", job=job)
+
+    def _arm_lease(self, initiator: SiteId, job: JobId, hint: Optional[Time]) -> None:
+        """Member-side lock lease: self-release if the initiator vanishes.
+
+        The duration is the initiator's ENROLL ``hint`` (it alone knows the
+        sphere's worst round trip — see :meth:`_lease_hint`) unless the
+        operator pinned ``member_lease`` explicitly; the config-derived
+        fallback only covers hint-less messages.
+        """
+        if self.config.member_lease is not None:
+            lease = self.config.member_lease
+        elif hint is not None:
+            lease = hint
+        else:
+            lease = self.config.effective_lease
+        if lease is None:
+            return
+        self._cancel_lease()
+        self._lease_owner = (initiator, job)
+        self._lease_duration = lease
+        self._lease_timer = self.sim.schedule(
+            lease, lambda: self._lease_expired(initiator, job)
+        )
+
+    def _renew_lease(self, initiator: SiteId, job: JobId) -> None:
+        """Restart the lease clock: the initiator just showed life."""
+        if self._lease_owner == (initiator, job) and self._lease_timer is not None:
+            self.sim.cancel(self._lease_timer)
+            self._lease_timer = self.sim.schedule(
+                self._lease_duration, lambda: self._lease_expired(initiator, job)
+            )
+
+    def _cancel_lease(self) -> None:
+        if self._lease_timer is not None:
+            self.sim.cancel(self._lease_timer)
+            self._lease_timer = None
+            self._lease_owner = None
+
+    def _lease_expired(self, initiator: SiteId, job: JobId) -> None:
+        self._lease_timer = None
+        self._lease_owner = None
+        if not self.lock.held_by(initiator, job):
+            return
+        self.trace("lock.lease_expired", job=job, by=initiator)
+        self._count("lease_expired")
+        self._validate_cache.pop(job, None)
+        self._validate_ack.pop(job, None)
+        self.lock.release(initiator, job)
+        self._drain_deferred()
+
+    # ------------------------------------------------------------------
     # initiator: mapping + adjustment (§9, §12)
     # ------------------------------------------------------------------
 
@@ -313,6 +599,7 @@ class RTDSSite(SiteBase):
         if self._enroll_timer is not None:
             self.sim.cancel(self._enroll_timer)
             self._enroll_timer = None
+        self._cancel_ack_timer()
         if not s.enrolled:
             # Nobody available: the job cannot be distributed.
             self._finish_session(JobOutcome.REJECTED_NO_SPHERE, unlock_members=False)
@@ -431,6 +718,11 @@ class RTDSSite(SiteBase):
             {"job": s.job, "initiator": self.sid, "procs": procs},
             size=size,
         )
+        if self.config.hardened:
+            self._phase_attempts = 0
+            self._arm_ack_timer(
+                lambda job=s.job: self._validate_ack_timeout(job), members, size=size
+            )
         # The initiator endorses locally with the same test.
         endorsed, slots = endorse_mapping(
             self.plan.timeline,
@@ -450,11 +742,37 @@ class RTDSSite(SiteBase):
     def _h_validate(self, msg: Message) -> None:
         job = msg.payload["job"]
         initiator = msg.payload["initiator"]
+        if self.config.hardened and self.lock.held_by(initiator, job) and job in self._validate_ack:
+            # Retransmitted VALIDATE (our ACK was lost): re-answer with the
+            # cached verdict — recomputing could endorse differently now.
+            self.trace("validate.re_ack", job=job)
+            self._count("validate_re_ack")
+            self._renew_lease(initiator, job)
+            self.send_to(
+                initiator,
+                MSG_VALIDATE_ACK,
+                {"job": job, "site": self.sid, "endorsed": list(self._validate_ack[job])},
+                size=float(2 + len(self._validate_ack[job])),
+            )
+            return
         if not self.lock.held_by(initiator, job):
+            if self.config.hardened:
+                # Our enrollment never reached the initiator's session (or
+                # the lease expired): we hold no slots, endorse nothing.
+                self.trace("validate.stale", job=job, initiator=initiator)
+                self._count("stale_validate")
+                self.send_to(
+                    initiator,
+                    MSG_VALIDATE_ACK,
+                    {"job": job, "site": self.sid, "endorsed": []},
+                    size=2.0,
+                )
+                return
             raise ProtocolError(
                 f"site {self.sid}: VALIDATE for ({initiator}, {job}) "
                 f"but lock is {self.lock.owner}"
             )
+        self._renew_lease(initiator, job)
         procs = msg.payload["procs"]
         endorsed, slots = endorse_mapping(
             self.plan.timeline,
@@ -466,6 +784,8 @@ class RTDSSite(SiteBase):
             order=self.config.validation_order,
         )
         self._validate_cache[job] = slots
+        if self.config.hardened:
+            self._validate_ack[job] = list(endorsed)
         self.trace("validate.member", job=job, endorsed=endorsed)
         self.send_to(
             initiator,
@@ -478,14 +798,26 @@ class RTDSSite(SiteBase):
         job = msg.payload["job"]
         s = self.session
         if s is None or s.job != job or s.phase != AcsSession.VALIDATING:
+            if self.config.hardened:
+                # Late ack: the round already timed out and moved on.
+                self.trace("validate.stale_ack", job=job, member=msg.payload["site"])
+                self._count("stale_validate_ack")
+                return
             raise ProtocolError(f"site {self.sid}: unexpected VALIDATE_ACK for job {job}")
-        s.record_endorsement(msg.payload["site"], msg.payload["endorsed"])
+        site = msg.payload["site"]
+        if self.config.hardened and site not in s.enrolled and site != self.sid:
+            # Defensive: an empty stale-VALIDATE answer from a site that was
+            # never enrolled in this session must not enter the coupling.
+            self.trace("validate.foreign_ack", job=job, member=site)
+            return
+        s.record_endorsement(site, msg.payload["endorsed"])
         if s.validation_complete():
             self._decide_permutation()
 
     def _decide_permutation(self) -> None:
         s = self.session
         assert s is not None
+        self._cancel_ack_timer()
         tm = s.trial_mapping
         perm = compute_permutation(tm.used_procs(), s.endorsements)
         if perm is None:
@@ -517,9 +849,22 @@ class RTDSSite(SiteBase):
             "deadline": ctx.deadline,
         }
         members = s.acs_members()
-        sphere_broadcast(
-            self, members, MSG_EXECUTE, payload, size=estimate_code_size(tm.dag)
-        )
+        code_size = estimate_code_size(tm.dag)
+        sphere_broadcast(self, members, MSG_EXECUTE, payload, size=code_size)
+        if self.config.hardened and members:
+            # EXECUTE is the one fire-and-forget step of the base protocol:
+            # a lost copy would strand a locked member and silently shed its
+            # task share. Track acks and retransmit.
+            self._pending_execute[s.job] = {
+                "payload": payload,
+                "unacked": set(members),
+                "attempts": 0,
+                "size": code_size,
+                "timer": self.sim.schedule(
+                    self._round_budget(members, code_size),
+                    lambda job=s.job: self._execute_ack_timeout(job),
+                ),
+            }
         # The initiator's own share.
         my_procs = [p for p, site in perm.items() if site == self.sid]
         if my_procs:
@@ -535,6 +880,21 @@ class RTDSSite(SiteBase):
         perm: Dict[LogicalProc, SiteId] = msg.payload["permutation"]
         initiator = msg.origin
         if not self.lock.held_by(initiator, job):
+            if self.config.hardened:
+                done = self._exec_done.get(job)
+                if done is not None and done[0] == initiator:
+                    # Duplicate EXECUTE (our ack was lost): re-ack, done.
+                    self.trace("execute.re_ack", job=job)
+                    self._count("execute_re_ack")
+                    self._send_execute_ack(job, initiator)
+                    return
+                # Lease expired before EXECUTE arrived: the validation slots
+                # are gone, so this share cannot be committed truthfully.
+                # Stay silent — the initiator's retransmission loop will
+                # give up and record the loss.
+                self.trace("execute.stale", job=job, by=initiator)
+                self._count("stale_execute")
+                return
             raise ProtocolError(
                 f"site {self.sid}: EXECUTE for ({initiator}, {job}) "
                 f"but lock is {self.lock.owner}"
@@ -552,8 +912,18 @@ class RTDSSite(SiteBase):
             )
         else:
             self.trace("execute.bystander", job=job)
+        if self.config.hardened:
+            self._validate_ack.pop(job, None)
+            self._exec_done[job] = (initiator, self.now)
+            self._cancel_lease()
+            self._send_execute_ack(job, initiator)
         self.lock.release(initiator, job)
         self._drain_deferred()
+
+    def _send_execute_ack(self, job: JobId, initiator: SiteId) -> None:
+        self.send_to(
+            initiator, MSG_EXECUTE_ACK, {"job": job, "site": self.sid}, size=2.0
+        )
 
     def _commit_assignment(
         self,
@@ -596,6 +966,8 @@ class RTDSSite(SiteBase):
         initiator = msg.origin
         if self.lock.held_by(initiator, job):
             self._validate_cache.pop(job, None)
+            self._validate_ack.pop(job, None)
+            self._cancel_lease()
             self.lock.release(initiator, job)
             self.trace("lock.released", job=job, by=initiator)
             self._drain_deferred()
@@ -636,6 +1008,7 @@ class RTDSSite(SiteBase):
     def _finish_session(self, outcome: JobOutcome, unlock_members: bool = True) -> None:
         s = self.session
         assert s is not None
+        self._cancel_ack_timer()
         ctx = s.ctx
         members = s.acs_members()
         if unlock_members and members:
@@ -684,6 +1057,17 @@ class RTDSSite(SiteBase):
         for job in list(self._exec_info):
             if job not in live_jobs:
                 del self._exec_info[job]
+        # Hardening caches. The EXECUTE duplicate-detection entries are
+        # pruned by *age*, not liveness: a bystander member (no local
+        # tasks) must keep re-acking while the initiator's retransmission
+        # round — state this site cannot see — may still be running, and
+        # any such round is long over once the entry predates ``before``.
+        for job, (_, when) in list(self._exec_done.items()):
+            if when < before:
+                del self._exec_done[job]
+        for job in list(self._validate_ack):
+            if job not in live_jobs:
+                del self._validate_ack[job]
         return n
 
     # ------------------------------------------------------------------

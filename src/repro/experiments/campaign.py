@@ -13,6 +13,11 @@ Used by the E1 bench's CI variant and available to users:
     agg = camp.run("rtds")
     print(agg.mean["GR"], "+/-", agg.ci["GR"])
     diff = camp.compare("rtds", "local")     # paired per-seed differences
+
+Fault sweeps (:func:`sweep_fault_plans`) replicate one configuration across
+seeds for each :class:`~repro.faults.plan.FaultPlan` in a list — the E7
+guarantee-vs-loss-rate curve — aggregating both the scheduler metrics and
+the churn damage counters.
 """
 
 from __future__ import annotations
@@ -132,3 +137,53 @@ class Campaign:
     def table(self, algorithms: Sequence[str]) -> List[Dict[str, object]]:
         """One aggregate row per algorithm (for ``format_table``)."""
         return [self.run(a).row() for a in algorithms]
+
+
+def sweep_fault_plans(
+    base: ExperimentConfig,
+    plans: Sequence[tuple],
+    seeds: Iterable[int] = (0,),
+) -> List[Dict[str, object]]:
+    """Replicate ``base`` across seeds for each ``(label, FaultPlan)``.
+
+    Returns one row per plan with mean ± 95% CI of guarantee/effective
+    ratios plus the summed churn damage (lost messages, degraded phases,
+    dropped jobs) — the E7 fault-sweep table. ``base`` must already carry a
+    hardened RTDS config when any plan is nonzero.
+    """
+    from repro.metrics.faults import fault_report
+
+    seeds = list(seeds)
+    if not seeds:
+        raise ConfigError("fault sweep needs at least one seed")
+    rows: List[Dict[str, object]] = []
+    for label, plan in plans:
+        grs, effs = [], []
+        lost = degraded = dropped = retransmits = 0
+        for seed in seeds:
+            cfg = replace(base, faults=plan, seed=seed, label=str(label))
+            res = run_experiment(cfg)
+            rep = fault_report(res)
+            grs.append(rep.guarantee_ratio)
+            effs.append(rep.effective_ratio)
+            lost += rep.lost_messages
+            degraded += rep.degraded_phases
+            dropped += rep.jobs_dropped
+            retransmits += rep.retransmissions
+        gr_m, gr_h = mean_confidence_interval(grs)
+        eff_m, eff_h = mean_confidence_interval(effs)
+        rows.append(
+            {
+                "plan": str(label),
+                "runs": len(seeds),
+                "GR": round(gr_m, 4),
+                "GR±": round(gr_h, 4),
+                "effGR": round(eff_m, 4),
+                "effGR±": round(eff_h, 4),
+                "lost": lost,
+                "retransmit": retransmits,
+                "degraded": degraded,
+                "jobs_dropped": dropped,
+            }
+        )
+    return rows

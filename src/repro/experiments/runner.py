@@ -27,8 +27,11 @@ from repro.baselines.focused import FocusedSite
 from repro.baselines.local_only import LocalOnlySite
 from repro.baselines.random_offload import RandomOffloadSite
 from repro.core.config import RTDSConfig
+from repro.core.events import JobOutcome, JobRecord
 from repro.core.rtds import RTDSSite
 from repro.errors import ConfigError
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultPlan
 from repro.metrics.collector import MetricsCollector
 from repro.metrics.summary import ExperimentSummary, summarize
 from repro.routing.reference import dijkstra, hop_diameter
@@ -87,6 +90,10 @@ class ExperimentConfig:
     #: Note: the post-run execution audit needs full records — leave None
     #: when using repro.experiments.verify.
     hygiene_interval: Optional[float] = None
+    #: fault injection (repro.faults): ``None`` or a zero plan leaves the
+    #: no-faults code path bit-for-bit untouched. Window/churn times are
+    #: relative to workload start; setup/routing always runs fault-free.
+    faults: Optional[FaultPlan] = None
     seed: int = 0
     trace: bool = False
     label: Optional[str] = None
@@ -94,6 +101,16 @@ class ExperimentConfig:
     def __post_init__(self) -> None:
         if self.algorithm not in ALGORITHMS:
             raise ConfigError(f"unknown algorithm {self.algorithm!r}; known: {ALGORITHMS}")
+        if (
+            self.faults is not None
+            and not self.faults.is_zero()
+            and self.algorithm == "rtds"
+            and not self.rtds.hardened
+        ):
+            raise ConfigError(
+                "a nonzero FaultPlan requires the hardened protocol: set "
+                "RTDSConfig.ack_timeout (see repro.faults.hardened)"
+            )
 
     def resolved_label(self) -> str:
         return self.label or self.algorithm
@@ -112,6 +129,9 @@ class RunResult:
     workload: Workload
     setup_messages: int
     setup_time: float
+    #: the armed fault injector (stats + concrete windows), or None when
+    #: the run had no (or a zero) fault plan
+    faults: Optional[FaultInjector] = None
 
     def site_utilizations(self, start: float, end: float) -> Dict[int, float]:
         return {
@@ -249,12 +269,36 @@ def run_experiment(config: ExperimentConfig) -> RunResult:
     )
     workload = generate_workload(spec)
     shift = setup_time
+
+    injector: Optional[FaultInjector] = None
+    if config.faults is not None and not config.faults.is_zero():
+        injector = FaultInjector(net, config.faults, entropy=config.seed)
+        injector.arm(t0=shift, default_horizon=config.duration)
+
+    def submit(site, job) -> None:
+        if injector is not None and injector.site_down(site.sid):
+            # The arrival site is partitioned: the job is lost before any
+            # scheduler sees it. Record it so churn degrades the ratio
+            # instead of shrinking its denominator.
+            injector.stats.jobs_dropped += 1
+            tracer.emit(sim.now, "fault.job_dropped", site.sid, job=job.job)
+            metrics.register_job(
+                JobRecord(
+                    job=job.job,
+                    origin=site.sid,
+                    arrival=sim.now,
+                    deadline=shift + job.deadline,
+                    n_tasks=len(job.dag),
+                    total_work=job.dag.total_complexity(),
+                )
+            )
+            metrics.decide(job.job, JobOutcome.LOST_SITE_DOWN, sim.now)
+            return
+        site.submit_job(job.job, job.dag, shift + job.deadline)
+
     for job in workload:
         site = net.site(job.origin)
-        sim.schedule_at(
-            shift + job.arrival,
-            lambda s=site, j=job: s.submit_job(j.job, j.dag, shift + j.deadline),
-        )
+        sim.schedule_at(shift + job.arrival, lambda s=site, j=job: submit(s, j))
     horizon = shift + workload.last_deadline() + config.drain_margin
     if config.hygiene_interval is not None:
         interval = config.hygiene_interval
@@ -288,4 +332,5 @@ def run_experiment(config: ExperimentConfig) -> RunResult:
         workload=workload,
         setup_messages=setup_messages,
         setup_time=setup_time,
+        faults=injector,
     )

@@ -1,0 +1,40 @@
+"""Fault injection and dynamic-network modelling.
+
+The paper assumes bidirectional, faithful, loss-less links and faultless
+sites (§2). This package deliberately breaks those assumptions — under full
+experimental control — so the protocol's behaviour under churn becomes a
+first-class measurable input:
+
+* :mod:`repro.faults.plan` — the declarative :class:`FaultPlan`: link
+  down/up windows, site crash/recover windows, per-link (or global)
+  message-loss probability, delay jitter, and random-churn generators that
+  expand deterministically from the plan's seed;
+* :mod:`repro.faults.injector` — the :class:`FaultInjector` that hooks the
+  :class:`~repro.simnet.network.Network` transmit path and the
+  deterministic DES engine. An all-zero plan installs **nothing**: the
+  no-faults code path is untouched and runs remain bit-for-bit identical.
+
+Determinism: every random decision (loss draws, jitter, churn expansion)
+comes from one ``numpy`` generator seeded from ``(experiment seed, plan
+seed)`` — no ambient state, so a fixed seed reproduces the exact fault
+sequence.
+"""
+
+from repro.faults.injector import FaultInjector, FaultStats
+from repro.faults.plan import (
+    ChurnSpec,
+    FaultPlan,
+    LinkDownWindow,
+    SiteDownWindow,
+    hardened,
+)
+
+__all__ = [
+    "ChurnSpec",
+    "FaultPlan",
+    "FaultInjector",
+    "FaultStats",
+    "LinkDownWindow",
+    "SiteDownWindow",
+    "hardened",
+]

@@ -1,0 +1,239 @@
+"""The fault injector: hooks a plan into a live network.
+
+The injector registers itself as the network's transmit interceptor and
+schedules the plan's down/up window toggles on the simulator. At every
+physical transmission it decides, in a fixed order:
+
+1. link down?  → drop (``lost_link_down``);
+2. either endpoint site down? → drop (``lost_site_down``);
+3. i.i.d. loss draw against the link's loss probability → drop
+   (``lost_random``);
+4. delay jitter → extra uniform ``[0, jitter]`` delay (the link's FIFO
+   clamp keeps deliveries order-preserving).
+
+Faults are evaluated at *send* time: a message in flight when its link goes
+down still arrives (the window severed the link, not the ether). Multi-hop
+protocol messages re-enter the transmit path at every hop, so a partition
+anywhere along the route loses them naturally.
+
+Determinism: one ``numpy`` generator seeded from ``SeedSequence([entropy,
+plan.seed])`` drives churn expansion, loss draws and jitter. The injector
+never touches ambient state; with a fixed seed the exact same messages are
+lost at the exact same times.
+
+Installing a **zero plan** is a no-op by construction: ``install()`` leaves
+the network untouched, no RNG is ever consulted, and the run is bit-for-bit
+identical to one without the injector (the acceptance contract).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.faults.plan import FaultPlan, LinkDownWindow, SiteDownWindow
+from repro.simnet.link import Link
+from repro.simnet.message import Message
+from repro.simnet.network import Network
+from repro.types import SiteId, Time
+
+
+@dataclass
+class FaultStats:
+    """Counters of everything the injector did to one run."""
+
+    lost_link_down: int = 0
+    lost_site_down: int = 0
+    lost_random: int = 0
+    jittered: int = 0
+    link_down_events: int = 0
+    site_down_events: int = 0
+    #: jobs that arrived on a partitioned site and were dropped
+    jobs_dropped: int = 0
+    #: physical transmissions seen by the interceptor
+    transmissions: int = 0
+    lost_by_type: Counter = field(default_factory=Counter)
+
+    @property
+    def lost_total(self) -> int:
+        return self.lost_link_down + self.lost_site_down + self.lost_random
+
+    def row(self) -> Dict[str, object]:
+        """Flat dict for table printing."""
+        return {
+            "lost": self.lost_total,
+            "lost_link": self.lost_link_down,
+            "lost_site": self.lost_site_down,
+            "lost_rand": self.lost_random,
+            "jittered": self.jittered,
+            "link_downs": self.link_down_events,
+            "site_downs": self.site_down_events,
+            "jobs_dropped": self.jobs_dropped,
+        }
+
+
+class FaultInjector:
+    """Drives one :class:`~repro.faults.plan.FaultPlan` against a network.
+
+    Usage (the experiment runner does this)::
+
+        inj = FaultInjector(net, plan, entropy=config.seed)
+        ...setup phase runs on the pristine network...
+        inj.arm(t0=workload_start, default_horizon=duration)
+
+    Parameters
+    ----------
+    network:
+        The live network to intercept.
+    plan:
+        The declarative fault plan (window times relative to ``t0``).
+    entropy:
+        Extra seed material (typically the experiment seed) mixed with
+        ``plan.seed`` so replicated campaigns get independent fault streams
+        while staying reproducible.
+    """
+
+    def __init__(self, network: Network, plan: FaultPlan, entropy: int = 0) -> None:
+        self.network = network
+        self.sim = network.sim
+        self.tracer = network.tracer
+        self.plan = plan
+        self.stats = FaultStats()
+        self.rng = np.random.default_rng(np.random.SeedSequence([entropy, plan.seed]))
+        #: active down-window counts per link/site — counters, not sets,
+        #: because churn windows routinely overlap and the element must
+        #: stay down until the *last* covering window closes
+        self._down_links: Dict[Tuple[SiteId, SiteId], int] = {}
+        self._down_sites: Dict[SiteId, int] = {}
+        #: concrete windows after churn expansion (viz overlay reads these)
+        self.link_windows: List[LinkDownWindow] = []
+        self.site_windows: List[SiteDownWindow] = []
+        self._armed = False
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def arm(self, t0: Time = 0.0, default_horizon: Time = 100.0) -> None:
+        """Install the interceptor and schedule every window toggle.
+
+        ``t0`` is the simulated time the plan's clocks start (workload
+        start); ``default_horizon`` bounds churn expansion when a
+        :class:`~repro.faults.plan.ChurnSpec` has no explicit horizon.
+        A zero plan arms nothing — the network stays pristine.
+        """
+        if self._armed:
+            raise SimulationError("fault injector already armed")
+        self._armed = True
+        if self.plan.is_zero():
+            return
+        self.link_windows = list(self.plan.link_windows)
+        self.site_windows = list(self.plan.site_windows)
+        self._expand_churn(default_horizon)
+        self.network.interceptor = self
+        for w in self.link_windows:
+            self.sim.schedule_at(t0 + w.start, lambda w=w: self._link_down(w))
+            self.sim.schedule_at(t0 + w.end, lambda w=w: self._link_up(w))
+        for w in self.site_windows:
+            self.sim.schedule_at(t0 + w.start, lambda w=w: self._site_down(w))
+            self.sim.schedule_at(t0 + w.end, lambda w=w: self._site_up(w))
+
+    def _expand_churn(self, default_horizon: Time) -> None:
+        """Materialize churn specs into concrete windows (plan RNG)."""
+        spec = self.plan.link_churn
+        if spec is not None and spec.n_events > 0:
+            keys = sorted(link.key for link in self.network.links())
+            horizon = spec.horizon if spec.horizon is not None else default_horizon
+            for _ in range(spec.n_events):
+                u, v = keys[int(self.rng.integers(len(keys)))]
+                start = float(self.rng.uniform(0.0, horizon))
+                length = float(self.rng.exponential(spec.mean_downtime))
+                self.link_windows.append(LinkDownWindow(u, v, start, start + max(length, 1e-6)))
+        spec = self.plan.site_churn
+        if spec is not None and spec.n_events > 0:
+            sids = self.network.site_ids()
+            horizon = spec.horizon if spec.horizon is not None else default_horizon
+            for _ in range(spec.n_events):
+                sid = sids[int(self.rng.integers(len(sids)))]
+                start = float(self.rng.uniform(0.0, horizon))
+                length = float(self.rng.exponential(spec.mean_downtime))
+                self.site_windows.append(SiteDownWindow(sid, start, start + max(length, 1e-6)))
+
+    # -- window toggles -----------------------------------------------------
+
+    def _link_down(self, w: LinkDownWindow) -> None:
+        n = self._down_links.get(w.key, 0)
+        self._down_links[w.key] = n + 1
+        if n == 0:  # 0 -> 1 transition: the link actually went down
+            self.stats.link_down_events += 1
+            self.tracer.emit(self.sim.now, "fault.link_down", None, u=w.u, v=w.v)
+
+    def _link_up(self, w: LinkDownWindow) -> None:
+        n = self._down_links.get(w.key, 0) - 1
+        if n <= 0:
+            self._down_links.pop(w.key, None)
+            self.tracer.emit(self.sim.now, "fault.link_up", None, u=w.u, v=w.v)
+        else:  # another window still covers the link
+            self._down_links[w.key] = n
+
+    def _site_down(self, w: SiteDownWindow) -> None:
+        n = self._down_sites.get(w.site, 0)
+        self._down_sites[w.site] = n + 1
+        if n == 0:
+            self.stats.site_down_events += 1
+            self.tracer.emit(self.sim.now, "fault.site_down", w.site)
+
+    def _site_up(self, w: SiteDownWindow) -> None:
+        n = self._down_sites.get(w.site, 0) - 1
+        if n <= 0:
+            self._down_sites.pop(w.site, None)
+            self.tracer.emit(self.sim.now, "fault.site_up", w.site)
+        else:
+            self._down_sites[w.site] = n
+
+    # -- queries ------------------------------------------------------------
+
+    def site_down(self, sid: SiteId) -> bool:
+        """Is ``sid`` currently partitioned? (Runner checks job arrivals.)"""
+        return sid in self._down_sites
+
+    def link_down(self, u: SiteId, v: SiteId) -> bool:
+        key = (u, v) if u < v else (v, u)
+        return key in self._down_links
+
+    # -- the transmit hook --------------------------------------------------
+
+    def on_transmit(self, msg: Message, link: Link) -> Optional[Time]:
+        """Fate of one physical transmission.
+
+        Returns the extra delay to add (usually 0.0), or ``None`` to drop
+        the message.
+        """
+        self.stats.transmissions += 1
+        if link.key in self._down_links:
+            return self._drop(msg, "link_down")
+        if msg.src in self._down_sites or msg.dst in self._down_sites:
+            return self._drop(msg, "site_down")
+        p = self.plan.loss_for(link.key)
+        if p > 0.0 and self.rng.random() < p:
+            return self._drop(msg, "random")
+        if self.plan.delay_jitter > 0.0:
+            self.stats.jittered += 1
+            return float(self.rng.uniform(0.0, self.plan.delay_jitter))
+        return 0.0
+
+    def _drop(self, msg: Message, cause: str) -> None:
+        if cause == "link_down":
+            self.stats.lost_link_down += 1
+        elif cause == "site_down":
+            self.stats.lost_site_down += 1
+        else:
+            self.stats.lost_random += 1
+        self.stats.lost_by_type[msg.mtype] += 1
+        self.tracer.emit(
+            self.sim.now, "fault.drop", msg.src,
+            mtype=msg.mtype, dst=msg.dst, cause=cause, uid=msg.uid,
+        )
+        return None

@@ -1,0 +1,219 @@
+"""The declarative fault plan.
+
+A :class:`FaultPlan` describes *what goes wrong and when*, independent of
+any particular network instance:
+
+* :class:`LinkDownWindow` — a link is severed during ``[start, end)``;
+* :class:`SiteDownWindow` — a site is partitioned from the network during
+  ``[start, end)`` (fail-silent: every message to or from it is lost, and
+  jobs arriving on it are dropped; local timers and the compute processor
+  keep running, modelling a network partition rather than a power cut);
+* ``loss_prob`` / ``link_loss`` — i.i.d. per-transmission message loss,
+  globally or per link;
+* ``delay_jitter`` — extra uniform ``[0, jitter]`` delay per transmission
+  (the link's FIFO clamp still preserves the order-preserving assumption);
+* :class:`ChurnSpec` — random down/up windows generated at arm time from
+  the plan's seed, so campaigns can say "≈6 link flaps over the run"
+  without enumerating them.
+
+All window times are **relative to workload start** (the experiment runner
+arms the injector after the routing/setup phase), so PCS construction and
+routing always complete on the pristine network — faults stress the
+*protocol*, not the bootstrap.
+
+The plan is a frozen dataclass: hashable up to its tuple fields, safe to
+share across replicated campaign runs. ``FaultPlan.is_zero()`` is the
+contract the injector relies on: a zero plan must never perturb a run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Optional, Tuple
+
+from repro.errors import ConfigError
+from repro.types import SiteId, Time
+
+
+@dataclass(frozen=True)
+class LinkDownWindow:
+    """Link ``u <-> v`` is down during ``[start, end)``."""
+
+    u: SiteId
+    v: SiteId
+    start: Time
+    end: Time
+
+    def __post_init__(self) -> None:
+        if self.u == self.v:
+            raise ConfigError(f"link window on self-loop ({self.u},{self.v})")
+        if self.start < 0 or self.end <= self.start:
+            raise ConfigError(
+                f"link window ({self.u},{self.v}) needs 0 <= start < end, "
+                f"got [{self.start}, {self.end})"
+            )
+        if self.u > self.v:  # canonical order, like Link.key
+            u, v = self.v, self.u
+            object.__setattr__(self, "u", u)
+            object.__setattr__(self, "v", v)
+
+    @property
+    def key(self) -> Tuple[SiteId, SiteId]:
+        return (self.u, self.v)
+
+
+@dataclass(frozen=True)
+class SiteDownWindow:
+    """Site is partitioned from the network during ``[start, end)``."""
+
+    site: SiteId
+    start: Time
+    end: Time
+
+    def __post_init__(self) -> None:
+        if self.start < 0 or self.end <= self.start:
+            raise ConfigError(
+                f"site window ({self.site}) needs 0 <= start < end, "
+                f"got [{self.start}, {self.end})"
+            )
+
+
+@dataclass(frozen=True)
+class ChurnSpec:
+    """Randomly generated down windows, expanded at arm time.
+
+    ``n_events`` windows start uniformly over ``[0, horizon)`` (horizon
+    defaults to the workload duration when the injector arms); window
+    lengths are exponential with mean ``mean_downtime``; victims are drawn
+    uniformly from the live topology. Expansion uses the plan's seeded
+    generator, so the same (plan, experiment seed) yields the same windows.
+    """
+
+    n_events: int
+    mean_downtime: Time = 10.0
+    horizon: Optional[Time] = None
+
+    def __post_init__(self) -> None:
+        if self.n_events < 0:
+            raise ConfigError(f"churn n_events must be >= 0, got {self.n_events}")
+        if self.mean_downtime <= 0:
+            raise ConfigError(f"churn mean_downtime must be > 0, got {self.mean_downtime}")
+        if self.horizon is not None and self.horizon <= 0:
+            raise ConfigError(f"churn horizon must be > 0, got {self.horizon}")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Declarative description of every fault a run will experience.
+
+    The default instance is the **zero plan**: installing it is a no-op and
+    every result stays bit-for-bit identical to a run without faults (the
+    acceptance contract of the subsystem; asserted by the tier-1 identity
+    tests and ``benchmarks/bench_e7_faults.py``).
+    """
+
+    link_windows: Tuple[LinkDownWindow, ...] = ()
+    site_windows: Tuple[SiteDownWindow, ...] = ()
+    #: global per-transmission loss probability
+    loss_prob: float = 0.0
+    #: per-link overrides of ``loss_prob``, keyed by canonical (u, v)
+    link_loss: Tuple[Tuple[Tuple[SiteId, SiteId], float], ...] = ()
+    #: extra uniform [0, delay_jitter] delay per transmission
+    delay_jitter: Time = 0.0
+    #: random link flaps generated at arm time
+    link_churn: Optional[ChurnSpec] = None
+    #: random site partitions generated at arm time
+    site_churn: Optional[ChurnSpec] = None
+    #: fault-stream seed, mixed with the experiment seed by the injector
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.loss_prob < 1.0:
+            raise ConfigError(f"loss_prob must be in [0, 1), got {self.loss_prob}")
+        for key, p in self.link_loss:
+            if not 0.0 <= p < 1.0:
+                raise ConfigError(f"link_loss[{key}] must be in [0, 1), got {p}")
+        if self.delay_jitter < 0:
+            raise ConfigError(f"delay_jitter must be >= 0, got {self.delay_jitter}")
+
+    # -- classification -----------------------------------------------------
+
+    def is_zero(self) -> bool:
+        """True iff this plan can never perturb a run."""
+        return (
+            not self.link_windows
+            and not self.site_windows
+            and self.loss_prob == 0.0
+            and all(p == 0.0 for _, p in self.link_loss)
+            and self.delay_jitter == 0.0
+            and (self.link_churn is None or self.link_churn.n_events == 0)
+            and (self.site_churn is None or self.site_churn.n_events == 0)
+        )
+
+    def loss_for(self, key: Tuple[SiteId, SiteId]) -> float:
+        """Loss probability of the canonical link ``key``."""
+        for k, p in self.link_loss:
+            if k == key:
+                return p
+        return self.loss_prob
+
+    # -- construction helpers ------------------------------------------------
+
+    @classmethod
+    def from_spec(cls, spec: str) -> "FaultPlan":
+        """Parse a compact CLI spec into a plan.
+
+        Comma-separated ``key=value`` pairs::
+
+            loss=0.05,jitter=0.5,links=6,sites=2,downtime=20,horizon=300,seed=3
+
+        ``links``/``sites`` are churn event counts; ``downtime`` and
+        ``horizon`` parameterize both churn specs. Unknown keys raise
+        :class:`~repro.errors.ConfigError`.
+        """
+        fields: Dict[str, float] = {}
+        for part in filter(None, (p.strip() for p in spec.split(","))):
+            if "=" not in part:
+                raise ConfigError(f"bad fault spec element {part!r} (want key=value)")
+            key, _, val = part.partition("=")
+            try:
+                fields[key.strip()] = float(val)
+            except ValueError:
+                raise ConfigError(f"bad fault spec value {part!r}") from None
+        known = {"loss", "jitter", "links", "sites", "downtime", "horizon", "seed"}
+        unknown = set(fields) - known
+        if unknown:
+            raise ConfigError(f"unknown fault spec keys {sorted(unknown)}; known: {sorted(known)}")
+        downtime = fields.get("downtime", 10.0)
+        horizon = fields.get("horizon")
+        churn = {}
+        if fields.get("links", 0) > 0:
+            churn["link_churn"] = ChurnSpec(int(fields["links"]), downtime, horizon)
+        if fields.get("sites", 0) > 0:
+            churn["site_churn"] = ChurnSpec(int(fields["sites"]), downtime, horizon)
+        return cls(
+            loss_prob=fields.get("loss", 0.0),
+            delay_jitter=fields.get("jitter", 0.0),
+            seed=int(fields.get("seed", 0)),
+            **churn,
+        )
+
+    def scaled(self, loss_prob: float) -> "FaultPlan":
+        """This plan with a different global loss probability (sweeps)."""
+        return replace(self, loss_prob=loss_prob)
+
+
+def hardened(
+    config,
+    ack_timeout: Time = 5.0,
+    ack_retries: int = 1,
+    member_lease: Optional[Time] = None,
+):
+    """An :class:`~repro.core.config.RTDSConfig` copy with the protocol
+    hardening switched on — the required companion of a nonzero plan."""
+    return replace(
+        config,
+        ack_timeout=ack_timeout,
+        ack_retries=ack_retries,
+        member_lease=member_lease,
+    )

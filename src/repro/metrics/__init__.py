@@ -12,6 +12,7 @@
 """
 
 from repro.metrics.collector import MetricsCollector
+from repro.metrics.faults import FaultReport, fault_report
 from repro.metrics.latency import mean_phase_breakdown, phase_latencies
 from repro.metrics.protocol_stats import ProtocolStats, protocol_stats
 from repro.metrics.summary import ExperimentSummary, summarize
@@ -19,6 +20,8 @@ from repro.metrics.stats import mean_confidence_interval, ratio_confidence_inter
 
 __all__ = [
     "MetricsCollector",
+    "FaultReport",
+    "fault_report",
     "ExperimentSummary",
     "summarize",
     "mean_confidence_interval",

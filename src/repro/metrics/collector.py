@@ -9,6 +9,7 @@ registered on every site's executor). The collector is an *oracle observer*
 
 from __future__ import annotations
 
+from collections import Counter
 from typing import Dict, List, Optional
 
 from repro.core.events import JobOutcome, JobRecord
@@ -21,6 +22,13 @@ class MetricsCollector:
 
     def __init__(self) -> None:
         self.jobs: Dict[JobId, JobRecord] = {}
+        #: named protocol events (hardening retransmissions, degradations,
+        #: lease expirations, ...) — counted even when tracing is disabled
+        self.protocol_events: Counter = Counter()
+
+    def count_event(self, name: str, n: int = 1) -> None:
+        """Count one named protocol event (sites call this directly)."""
+        self.protocol_events[name] += n
 
     # -- called by scheduler sites ------------------------------------------
 

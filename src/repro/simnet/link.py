@@ -73,9 +73,14 @@ class Link:
             return self.delay
         return self.delay + size / self.throughput
 
-    def delivery_time(self, now: Time, size: float, to: SiteId) -> Time:
-        """FIFO-clamped arrival time of a message sent now towards ``to``."""
-        t = now + self.transfer_time(size)
+    def delivery_time(self, now: Time, size: float, to: SiteId, extra: Time = 0.0) -> Time:
+        """FIFO-clamped arrival time of a message sent now towards ``to``.
+
+        ``extra`` is additional one-off delay (fault-injection jitter); the
+        clamp below keeps the link order-preserving even when jitter would
+        reorder deliveries.
+        """
+        t = now + self.transfer_time(size) + extra
         prev = self._last_delivery.get(to, 0.0)
         if t < prev:
             t = prev

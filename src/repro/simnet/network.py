@@ -36,6 +36,12 @@ class Network:
         self.sim = sim
         self.tracer = tracer if tracer is not None else Tracer(enabled=False)
         self.stats = MessageStats()
+        #: optional transmit interceptor (fault injection): an object with
+        #: ``on_transmit(msg, link) -> extra_delay | None`` — ``None`` drops
+        #: the message in flight. ``None`` (default) = the paper's faithful
+        #: loss-less links, with the delivery arithmetic bit-for-bit
+        #: unchanged.
+        self.interceptor = None
         self._sites: Dict[SiteId, "SiteBase"] = {}
         self._links: Dict[Tuple[SiteId, SiteId], Link] = {}
         self._adj: Dict[SiteId, Dict[SiteId, Link]] = {}
@@ -108,9 +114,14 @@ class Network:
         link = self.link(msg.src, msg.dst)
         msg.hops += 1
         self.stats.record(msg.mtype, msg.size)
-        arrival = link.delivery_time(self.sim.now, msg.size, msg.dst)
-        receiver = self._sites[msg.dst]
         self.tracer.emit(self.sim.now, "net.send", msg.src, mtype=msg.mtype, dst=msg.dst, uid=msg.uid)
+        extra = 0.0
+        if self.interceptor is not None:
+            extra = self.interceptor.on_transmit(msg, link)
+            if extra is None:
+                return  # lost in flight (the interceptor did the accounting)
+        arrival = link.delivery_time(self.sim.now, msg.size, msg.dst, extra)
+        receiver = self._sites[msg.dst]
         self.sim.schedule_at(arrival, lambda m=msg, r=receiver: r.receive(m), PRIORITY_DELIVERY)
 
     def send_adjacent(

@@ -1,6 +1,13 @@
-"""ASCII visualisation: Gantt charts (Figs 3/4), DAG sketches (Fig 2)."""
+"""ASCII visualisation: Gantt charts (Figs 3/4), DAG sketches (Fig 2),
+execution timelines with optional fault-interval overlays."""
 
 from repro.viz.gantt import render_gantt
 from repro.viz.dagviz import render_dag
+from repro.viz.faultviz import fault_overlay_items, render_execution_with_faults
 
-__all__ = ["render_gantt", "render_dag"]
+__all__ = [
+    "render_gantt",
+    "render_dag",
+    "fault_overlay_items",
+    "render_execution_with_faults",
+]

@@ -1,0 +1,68 @@
+"""Fault-interval overlays for execution Gantt charts.
+
+Fault windows render as extra Gantt rows (``!link 1-2``, ``!site 3``)
+above the per-site execution rows, so "why did job 17 slip?" is answered
+by the same chart that shows the slip. Works with the concrete windows the
+:class:`~repro.faults.injector.FaultInjector` materialized (churn
+included), shifted into absolute simulation time.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.viz.execution import execution_items
+from repro.viz.gantt import GanttItem, render_gantt
+
+
+def fault_overlay_items(
+    result,
+    t_min: float = 0.0,
+    t_max: float = float("inf"),
+) -> List[GanttItem]:
+    """Gantt rows for every fault window of a finished run.
+
+    ``result`` is a :class:`~repro.experiments.runner.RunResult`; plans
+    store window times relative to workload start, so they are shifted by
+    ``result.setup_time`` here. Fault-free runs yield no rows.
+    """
+    injector = getattr(result, "faults", None)
+    if injector is None:
+        return []
+    shift = result.setup_time
+    items: List[GanttItem] = []
+    for w in injector.link_windows:
+        s, e = shift + w.start, shift + w.end
+        if e <= t_min or s >= t_max:
+            continue
+        items.append((f"!link {w.u}-{w.v}", "down", max(s, t_min), min(e, t_max)))
+    for w in injector.site_windows:
+        s, e = shift + w.start, shift + w.end
+        if e <= t_min or s >= t_max:
+            continue
+        items.append((f"!site {w.site}", "down", max(s, t_min), min(e, t_max)))
+    return items
+
+
+def render_execution_with_faults(
+    result,
+    t_min: float = 0.0,
+    t_max: float = float("inf"),
+    sites: Optional[List[int]] = None,
+    jobs: Optional[List[int]] = None,
+    width: int = 90,
+) -> str:
+    """ASCII Gantt of actual executions with fault intervals overlaid."""
+    items = execution_items(result, t_min, t_max, sites, jobs)
+    overlay = fault_overlay_items(result, t_min, t_max)
+    if sites is not None:
+        # keep only overlays touching the selected sites
+        keep = {str(s) for s in sites}
+        overlay = [
+            it for it in overlay
+            if set(it[0].split()[-1].split("-")) & keep
+        ]
+    title = "actual execution + fault intervals"
+    if t_max != float("inf"):
+        title += f" in [{t_min:g}, {t_max:g})"
+    return render_gantt(overlay + items, width=width, title=title)

@@ -20,12 +20,16 @@ from repro.workloads.arrivals import poisson_arrivals
 from repro.workloads.deadlines import assign_deadline
 from repro.workloads.load import calibrate_rate, offered_load
 from repro.workloads.scenarios import (
+    CHURN_LEVELS,
     WorkloadSpec,
+    churn_plan,
     generate_workload,
     mixed_dag_factory,
 )
 
 __all__ = [
+    "CHURN_LEVELS",
+    "churn_plan",
     "JobSpec",
     "Workload",
     "poisson_arrivals",

@@ -1,0 +1,269 @@
+"""Directed tests of the hardened protocol paths (retransmission, leases,
+stale-message tolerance) using surgical fault windows — each scenario kills
+exactly one message round and checks the recovery the DESIGN.md fault model
+promises.
+"""
+
+from repro.core.config import RTDSConfig
+from repro.core.events import JobOutcome
+from repro.core.rtds import RTDSSite
+from repro.faults import FaultInjector, FaultPlan, SiteDownWindow, hardened
+from repro.graphs.generators import fork_join_dag, linear_chain_dag
+from repro.metrics.collector import MetricsCollector
+from repro.simnet.engine import Simulator
+from repro.simnet.topology import build_network, complete
+from repro.simnet.trace import Tracer
+
+CFG = hardened(RTDSConfig(h=1, surplus_window=100.0), ack_timeout=4.0, ack_retries=1)
+
+
+def build(n=4, cfg=CFG):
+    sim = Simulator()
+    tracer = Tracer(enabled=True)
+    metrics = MetricsCollector()
+    net = build_network(
+        complete(n, delay_range=(1.0, 1.0)),
+        sim,
+        lambda sid, nn: RTDSSite(sid, nn, cfg, metrics=metrics),
+        tracer,
+    )
+    for sid in net.site_ids():
+        net.site(sid).start()
+    sim.run()  # PCS construction on the pristine network
+    return sim, net, tracer, metrics
+
+
+def saturate(sim, site, job, deadline=800.0):
+    """Fill a site with a fat local chain so the next job goes distributed."""
+    sim.schedule(1.0, lambda: site.submit_job(job, linear_chain_dag(4, c_range=(20.0, 20.0)), sim.now + deadline))
+
+
+def assert_clean(net, metrics):
+    for rec in metrics.records():
+        assert rec.outcome is not JobOutcome.PENDING, f"job {rec.job} hung"
+    for sid in net.site_ids():
+        s = net.site(sid)
+        assert not s.lock.locked, f"site {sid} lock leaked"
+        assert not s.lock.deferred
+        assert not s._pending_execute
+
+
+def test_dead_member_mid_enrollment_degrades_gracefully():
+    """Site 3 is partitioned before the ENROLL round: the initiator
+    retransmits, gives up, and maps onto the survivors."""
+    sim, net, tracer, metrics = build()
+    inj = FaultInjector(net, FaultPlan(site_windows=(SiteDownWindow(3, 0.0, 500.0),)))
+    inj.arm(t0=sim.now)
+    saturate(sim, net.site(0), job=0)
+    sim.schedule(2.0, lambda: net.site(0).submit_job(1, fork_join_dag(3, c_range=(4.0, 4.0)), sim.now + 40.0))
+    sim.run(until=sim.now + 600.0)
+    assert tracer.of("acs.retransmit"), "no ENROLL retransmission attempted"
+    assert tracer.of("acs.gave_up"), "initiator never gave up on the dead member"
+    rec = metrics.jobs[1]
+    assert rec.outcome is JobOutcome.ACCEPTED_DISTRIBUTED
+    assert 3 not in rec.hosts
+    assert_clean(net, metrics)
+    assert metrics.protocol_events["enroll_retransmit"] >= 1
+    assert metrics.protocol_events["enroll_gave_up"] >= 1
+
+
+def test_lost_enroll_ack_member_lease_recovers_the_lock():
+    """Site 3 receives ENROLL and locks, but dies before the initiator hears
+    back: the initiator proceeds without it and site 3's lease frees it."""
+    sim, net, tracer, metrics = build()
+    # ENROLL goes out at t0+2 and is already in flight when the partition
+    # opens at t0+2.5 (faults bite at *send* time): the member still
+    # receives it at t0+3 and locks, but its ACK — sent while down — is
+    # swallowed, as is every retransmission to it.
+    t0 = sim.now
+    inj = FaultInjector(net, FaultPlan(site_windows=(SiteDownWindow(3, 2.5, 500.0),)))
+    inj.arm(t0=t0)
+    saturate(sim, net.site(0), job=0)
+    sim.schedule(2.0, lambda: net.site(0).submit_job(1, fork_join_dag(3, c_range=(4.0, 4.0)), sim.now + 40.0))
+    sim.run(until=sim.now + 600.0)
+    assert metrics.jobs[1].outcome is not JobOutcome.PENDING
+    assert any(e.site == 3 for e in tracer.of("acs.enrolled")), "site 3 never locked — scenario broken"
+    assert tracer.of("lock.lease_expired"), "lease never fired"
+    assert metrics.protocol_events["lease_expired"] >= 1
+    assert not net.site(3).lock.locked, "phantom enrollment leaked site 3's lock"
+    assert_clean(net, metrics)
+
+
+def test_all_members_dead_falls_back_to_rejection_not_hang():
+    sim, net, _, metrics = build()
+    inj = FaultInjector(
+        net,
+        FaultPlan(site_windows=tuple(SiteDownWindow(s, 0.0, 900.0) for s in (1, 2, 3))),
+    )
+    inj.arm(t0=sim.now)
+    saturate(sim, net.site(0), job=0)
+    sim.schedule(2.0, lambda: net.site(0).submit_job(1, fork_join_dag(3, c_range=(4.0, 4.0)), sim.now + 40.0))
+    sim.run(until=sim.now + 1000.0)
+    rec = metrics.jobs[1]
+    assert rec.outcome in (JobOutcome.REJECTED_NO_SPHERE, JobOutcome.REJECTED_TIMEOUT)
+    assert_clean(net, metrics)
+
+
+def test_zero_retries_gives_up_after_one_timeout():
+    cfg = hardened(RTDSConfig(h=1, surplus_window=100.0), ack_timeout=4.0, ack_retries=0)
+    sim, net, tracer, metrics = build(cfg=cfg)
+    inj = FaultInjector(net, FaultPlan(site_windows=(SiteDownWindow(3, 0.0, 500.0),)))
+    inj.arm(t0=sim.now)
+    saturate(sim, net.site(0), job=0)
+    sim.schedule(2.0, lambda: net.site(0).submit_job(1, fork_join_dag(3, c_range=(4.0, 4.0)), sim.now + 40.0))
+    sim.run(until=sim.now + 600.0)
+    assert not tracer.of("acs.retransmit")
+    assert tracer.of("acs.gave_up")
+    assert_clean(net, metrics)
+
+
+def test_near_members_of_wide_sphere_do_not_expire_mid_session():
+    """A sphere with one very distant member: the healthy session legally
+    takes ~2×(far distance) per round, so near members' leases must be
+    sized by the initiator's hint, not their own short RTT — otherwise
+    they self-release mid-validation with zero faults injected."""
+    from repro.simnet.topology import Topology
+
+    # star: hub 0 with near leaves 1, 2 (delay 1) and far leaf 3 (delay 30)
+    topo = Topology(
+        n=4,
+        edges=((0, 1, 1.0), (0, 2, 1.0), (0, 3, 30.0)),
+        name="wide-star",
+    )
+    sim = Simulator()
+    tracer = Tracer(enabled=True)
+    metrics = MetricsCollector()
+    net = build_network(
+        topo, sim, lambda sid, nn: RTDSSite(sid, nn, CFG, metrics=metrics), tracer
+    )
+    for sid in net.site_ids():
+        net.site(sid).start()
+    sim.run()
+    saturate(sim, net.site(0), job=0)
+    sim.schedule(2.0, lambda: net.site(0).submit_job(1, fork_join_dag(3, c_range=(4.0, 4.0)), sim.now + 400.0))
+    sim.run()
+    assert not tracer.of("lock.lease_expired"), "healthy session leaked a lease expiry"
+    assert metrics.protocol_events["lease_expired"] == 0
+    assert metrics.jobs[1].outcome is not JobOutcome.PENDING
+    assert_clean(net, metrics)
+
+
+def test_data_volume_model_does_not_misfire_hardened_timers():
+    """§13 finite throughput makes transfers slow in proportion to message
+    size (the EXECUTE code dispatch especially): the round budgets must
+    absorb that, or a fault-free hardened run reports phantom damage."""
+    from dataclasses import replace
+
+    from repro.experiments.runner import ExperimentConfig, run_experiment
+
+    # uncongested data-volume regime: transfer time is material (code
+    # dispatch ~ several units) but links are not saturated — congestion
+    # queueing is the one delay an initiator cannot bound, and a spurious
+    # retransmission under it is benign (idempotent re-answers)
+    cfg = ExperimentConfig(
+        duration=120.0,
+        seed=0,
+        rho=0.8,
+        laxity_factor=4.0,
+        trace=True,
+        topology_kwargs={"n": 12, "p": 0.3, "delay_range": (0.2, 1.0)},
+        link_throughput=8.0,
+        data_volume_range=(0.5, 2.0),
+        rtds=hardened(RTDSConfig(), ack_timeout=5.0),
+    )
+    res = run_experiment(cfg)
+    assert res.summary.n_accepted_distributed > 0, "scenario never went distributed"
+    for cat in (
+        "acs.retransmit", "acs.gave_up",
+        "validate.retransmit", "validate.gave_up",
+        "execute.retransmit", "execute.gave_up",
+        "lock.lease_expired",
+    ):
+        assert not res.tracer.of(cat), f"phantom {cat} in a fault-free run"
+    # and the hardened run decides exactly like the unhardened one
+    plain = run_experiment(replace(cfg, rtds=RTDSConfig()))
+    assert [(r.job, r.outcome) for r in res.collector.records()] == [
+        (r.job, r.outcome) for r in plain.collector.records()
+    ]
+    # slower links + a wide sphere: the broadcast fan-out serializes on
+    # the FIFO links near the initiator, which the round budget must cover
+    wide = replace(
+        cfg,
+        topology_kwargs={"n": 16, "p": 0.4, "delay_range": (0.2, 1.0)},
+        link_throughput=5.0,
+        rho=0.6,
+        laxity_factor=3.0,
+    )
+    res2 = run_experiment(wide)
+    for cat in (
+        "acs.retransmit", "acs.gave_up",
+        "validate.retransmit", "validate.gave_up",
+        "execute.retransmit", "execute.gave_up",
+        "lock.lease_expired",
+    ):
+        assert not res2.tracer.of(cat), f"phantom {cat} under fan-out serialization"
+
+
+def test_queue_mode_deferral_is_not_mistaken_for_death():
+    """Queue mode holds ENROLLs on locked members by design; the hardened
+    enroll timer must stay out of the way (the deadline-fraction budget
+    governs) — deferred members must not be demoted to refusals."""
+    cfg = hardened(
+        RTDSConfig(h=2, surplus_window=100.0, enroll_mode="queue", enroll_timeout=0.5),
+        ack_timeout=0.5,  # far shorter than the queue budget: would misfire
+        ack_retries=1,
+    )
+    sim, net, tracer, metrics = build(n=4, cfg=cfg)
+    s0, s1 = net.site(0), net.site(1)
+    # two initiators compete; members caught locked defer their answers
+    saturate(sim, s0, job=0)
+    sim.schedule(1.0, lambda: s1.submit_job(1, linear_chain_dag(4, c_range=(20.0, 20.0)), sim.now + 800.0))
+    sim.schedule(2.0, lambda: s1.submit_job(2, fork_join_dag(3, c_range=(4.0, 4.0)), sim.now + 40.0))
+    sim.schedule(2.1, lambda: s0.submit_job(3, fork_join_dag(3, c_range=(4.0, 4.0)), sim.now + 40.0))
+    sim.run(until=sim.now + 600.0)
+    # the hardened enroll round never armed: no demotions, no retransmits
+    assert not tracer.of("acs.retransmit")
+    assert not tracer.of("acs.gave_up")
+    assert metrics.protocol_events["enroll_gave_up"] == 0
+    assert_clean(net, metrics)
+
+
+def test_queue_mode_lease_covers_the_collection_budget():
+    """In queue mode the initiator may lawfully idle for the whole
+    deadline-fraction collection budget with no lease-renewing contact —
+    the ENROLL lease hint must cover it, or early enrollees expire
+    mid-healthy-session."""
+    cfg = hardened(
+        RTDSConfig(h=1, surplus_window=100.0, enroll_mode="queue", enroll_timeout=0.25),
+        ack_timeout=4.0,
+        ack_retries=1,
+    )
+    sim, net, tracer, metrics = build(n=4, cfg=cfg)
+    s0 = net.site(0)
+    # saturate far beyond the job's deadline so the local test fails
+    sim.schedule(1.0, lambda: s0.submit_job(0, linear_chain_dag(8, c_range=(50.0, 50.0)), sim.now + 900.0))
+    sim.schedule(2.0, lambda: s0.submit_job(1, fork_join_dag(3, c_range=(4.0, 4.0)), sim.now + 300.0))
+    sim.run()
+    enrolled = {e.site for e in tracer.of("acs.enrolled") if e.detail["job"] == 1}
+    assert enrolled, "job 1 never went distributed — scenario broken"
+    # queue budget = 0.25 * ~300 ≈ 75; the base 3-round lease alone is ~36
+    for m in enrolled:
+        assert net.site(m)._lease_duration > 70.0, (
+            f"member {m} lease {net.site(m)._lease_duration} ignores the queue budget"
+        )
+    assert not tracer.of("lock.lease_expired")
+    assert_clean(net, metrics)
+
+
+def test_hardened_zero_fault_run_matches_unhardened():
+    """With no faults, the hardening only arms timers that get cancelled:
+    job outcomes must be identical to the non-hardened protocol."""
+
+    def run(cfg):
+        sim, net, _, metrics = build(cfg=cfg)
+        saturate(sim, net.site(0), job=0)
+        sim.schedule(2.0, lambda: net.site(0).submit_job(1, fork_join_dag(3, c_range=(4.0, 4.0)), sim.now + 40.0))
+        sim.run()
+        return [(r.job, r.outcome, r.decided_at) for r in metrics.records()]
+
+    assert run(CFG) == run(RTDSConfig(h=1, surplus_window=100.0))

@@ -1,0 +1,168 @@
+"""FaultInjector mechanics against a bare recording-site network."""
+
+import pytest
+
+from repro.faults import ChurnSpec, FaultInjector, FaultPlan, LinkDownWindow, SiteDownWindow
+from repro.simnet.engine import Simulator
+from tests.conftest import make_line_network
+
+
+def build(n=3, delay=1.0):
+    sim = Simulator()
+    net, sites = make_line_network(sim, n, delay)
+    return sim, net, sites
+
+
+class TestZeroPlan:
+    def test_zero_plan_installs_nothing(self):
+        sim, net, _ = build()
+        inj = FaultInjector(net, FaultPlan())
+        inj.arm()
+        assert net.interceptor is None
+        assert sim.pending() == 0
+
+    def test_double_arm_rejected(self):
+        from repro.errors import SimulationError
+
+        _, net, _ = build()
+        inj = FaultInjector(net, FaultPlan())
+        inj.arm()
+        with pytest.raises(SimulationError):
+            inj.arm()
+
+
+class TestLinkWindows:
+    def test_messages_dropped_inside_window_only(self):
+        sim, net, sites = build()
+        plan = FaultPlan(link_windows=(LinkDownWindow(0, 1, 5.0, 10.0),))
+        inj = FaultInjector(net, plan)
+        inj.arm()
+        for t in (1.0, 6.0, 9.5, 11.0):
+            sim.schedule_at(t, lambda: net.send_adjacent(0, 1, "PING"))
+        sim.run()
+        arrivals = [t for t, *_ in sites[1].received]
+        assert arrivals == [2.0, 12.0]  # t=6 and t=9.5 sends lost
+        assert inj.stats.lost_link_down == 2
+        assert inj.stats.lost_total == 2
+        assert inj.stats.lost_by_type == {"PING": 2}
+
+    def test_other_links_unaffected(self):
+        sim, net, sites = build()
+        inj = FaultInjector(net, FaultPlan(link_windows=(LinkDownWindow(0, 1, 0.0, 100.0),)))
+        inj.arm()
+        sim.schedule_at(1.0, lambda: net.send_adjacent(1, 2, "PING"))
+        sim.run()
+        assert len(sites[2].received) == 1
+        assert inj.stats.lost_total == 0
+
+
+class TestSiteWindows:
+    def test_partitioned_site_sends_and_receives_nothing(self):
+        sim, net, sites = build()
+        inj = FaultInjector(net, FaultPlan(site_windows=(SiteDownWindow(1, 2.0, 8.0),)))
+        inj.arm()
+        sim.schedule_at(3.0, lambda: net.send_adjacent(0, 1, "PING"))  # into the hole
+        sim.schedule_at(4.0, lambda: net.send_adjacent(1, 2, "PING"))  # out of the hole
+        sim.schedule_at(9.0, lambda: net.send_adjacent(0, 1, "PING"))  # after recovery
+        sim.run()
+        assert sites[1].received and sites[1].received[0][0] == 10.0
+        assert sites[2].received == []
+        assert inj.stats.lost_site_down == 2
+        assert inj.stats.site_down_events == 1
+
+    def test_overlapping_windows_stay_down_until_last_closes(self):
+        """Churn windows routinely overlap: the element must stay down
+        until the *last* covering window ends, not the first."""
+        sim, net, sites = build()
+        plan = FaultPlan(
+            site_windows=(SiteDownWindow(1, 0.0, 10.0), SiteDownWindow(1, 5.0, 20.0)),
+            link_windows=(LinkDownWindow(1, 2, 0.0, 10.0), LinkDownWindow(1, 2, 5.0, 20.0)),
+        )
+        inj = FaultInjector(net, plan)
+        inj.arm()
+        seen = []
+        for t in (12.0, 21.0):
+            sim.schedule_at(t, lambda: seen.append((inj.site_down(1), inj.link_down(1, 2))))
+        sim.schedule_at(12.0, lambda: net.send_adjacent(0, 1, "PING"))  # in the overlap tail
+        sim.schedule_at(21.0, lambda: net.send_adjacent(0, 1, "PING"))  # after both close
+        sim.run()
+        assert seen == [(True, True), (False, False)]
+        assert [t for t, *_ in sites[1].received] == [22.0]
+        # the overlapped element went down once, not twice
+        assert inj.stats.site_down_events == 1
+        assert inj.stats.link_down_events == 1
+
+    def test_site_down_query_tracks_windows(self):
+        sim, net, _ = build()
+        inj = FaultInjector(net, FaultPlan(site_windows=(SiteDownWindow(2, 1.0, 4.0),)))
+        inj.arm()
+        seen = []
+        for t in (0.5, 2.0, 5.0):
+            sim.schedule_at(t, lambda: seen.append(inj.site_down(2)))
+        sim.run()
+        assert seen == [False, True, False]
+
+
+class TestLossAndJitter:
+    def test_loss_is_seeded_and_deterministic(self):
+        def run(entropy):
+            sim, net, sites = build()
+            inj = FaultInjector(net, FaultPlan(loss_prob=0.5, seed=9), entropy=entropy)
+            inj.arm()
+            for i in range(40):
+                sim.schedule_at(float(i), lambda: net.send_adjacent(0, 1, "PING"))
+            sim.run()
+            return [t for t, *_ in sites[1].received], inj.stats.lost_random
+
+        a_times, a_lost = run(entropy=1)
+        b_times, b_lost = run(entropy=1)
+        c_times, c_lost = run(entropy=2)
+        assert a_times == b_times and a_lost == b_lost
+        assert 0 < a_lost < 40
+        assert (a_times, a_lost) != (c_times, c_lost)  # entropy decorrelates
+
+    def test_per_link_loss_override(self):
+        sim, net, sites = build()
+        # link (0,1) always-ish loses, link (1,2) never does
+        plan = FaultPlan(loss_prob=0.0, link_loss=(((1, 2), 0.99),), seed=4)
+        inj = FaultInjector(net, plan)
+        inj.arm()
+        for i in range(30):
+            sim.schedule_at(float(i), lambda: net.send_adjacent(0, 1, "PING"))
+            sim.schedule_at(float(i), lambda: net.send_adjacent(1, 2, "PING"))
+        sim.run()
+        assert len(sites[1].received) == 30  # untouched link
+        assert len(sites[2].received) < 5
+
+    def test_jitter_delays_but_preserves_fifo(self):
+        sim, net, sites = build()
+        inj = FaultInjector(net, FaultPlan(delay_jitter=5.0, seed=3))
+        inj.arm()
+        for i in range(20):
+            sim.schedule_at(float(i) * 0.1, lambda: net.send_adjacent(0, 1, "PING"))
+        sim.run()
+        times = [t for t, *_ in sites[1].received]
+        assert len(times) == 20
+        assert times == sorted(times)  # FIFO clamp holds under jitter
+        assert inj.stats.jittered == 20
+        # jitter actually moved something past the bare propagation delay
+        assert max(t - (i * 0.1 + 1.0) for i, t in enumerate(times)) > 1e-6
+
+
+class TestChurnExpansion:
+    def test_expansion_is_deterministic_and_bounded(self):
+        def expand():
+            sim, net, _ = build(4)
+            inj = FaultInjector(net, FaultPlan(link_churn=ChurnSpec(5, 10.0), site_churn=ChurnSpec(3, 10.0)), entropy=7)
+            inj.arm(t0=0.0, default_horizon=100.0)
+            return inj.link_windows, inj.site_windows
+
+        la, sa = expand()
+        lb, sb = expand()
+        assert la == lb and sa == sb
+        assert len(la) == 5 and len(sa) == 3
+        assert all(0.0 <= w.start < 100.0 for w in la + sa)
+        # victims are real topology elements
+        keys = {(0, 1), (1, 2), (2, 3)}
+        assert all(w.key in keys for w in la)
+        assert all(w.site in (0, 1, 2, 3) for w in sa)

@@ -135,3 +135,78 @@ class TestCancel:
 
     def test_peek_empty(self, sim):
         assert sim.peek_next_time() is None
+
+    def test_cancel_from_earlier_same_time_callback(self, sim):
+        """An event can be cancelled by another event at the *same* time
+        that fires first (timer-cancellation races in the protocol)."""
+        log = []
+        victim = sim.schedule(1.0, lambda: log.append("victim"))
+        sim.schedule_at(1.0, lambda: sim.cancel(victim))
+        sim.run()
+        # seq order: victim was scheduled first, so it fires before the
+        # canceller — cancellation at equal time only works backwards
+        assert log == ["victim"]
+        log.clear()
+        canceller_first = []
+        victim2 = [None]
+        canceller_first.append(sim.schedule(2.0, lambda: sim.cancel(victim2[0])))
+        victim2[0] = sim.schedule_at(sim.now + 2.0, lambda: log.append("victim2"))
+        sim.run()
+        assert log == []
+
+    def test_cancelled_event_not_counted_as_processed(self, sim):
+        ev = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        sim.cancel(ev)
+        sim.run()
+        assert sim.events_processed == 1
+
+    def test_run_until_with_only_cancelled_events_advances_clock(self, sim):
+        ev = sim.schedule(5.0, lambda: None)
+        sim.cancel(ev)
+        end = sim.run(until=10.0)
+        assert end == 10.0
+        assert sim.now == 10.0
+        assert sim.events_processed == 0
+
+    def test_cancel_inside_own_callback_is_noop(self, sim):
+        """A callback cancelling its own (already popped) event must not
+        corrupt the heap or re-fire."""
+        holder = []
+
+        def cb():
+            sim.cancel(holder[0])
+
+        holder.append(sim.schedule(1.0, cb))
+        sim.schedule(2.0, lambda: None)
+        sim.run()
+        assert sim.events_processed == 2
+
+    def test_double_cancel_is_idempotent(self, sim):
+        log = []
+        ev = sim.schedule(1.0, lambda: log.append("x"))
+        sim.cancel(ev)
+        sim.cancel(ev)
+        sim.run()
+        assert log == []
+        assert sim.pending() == 0
+
+    def test_peek_pops_cancelled_prefix_lazily(self, sim):
+        evs = [sim.schedule(float(i + 1), lambda: None) for i in range(3)]
+        for ev in evs[:2]:
+            sim.cancel(ev)
+        assert sim.peek_next_time() == 3.0
+        # the cancelled prefix is physically gone, the live event remains
+        assert sim.pending() == 1
+        sim.run()
+        assert sim.events_processed == 1
+
+    def test_reschedule_after_cancel(self, sim):
+        """Cancel-then-rearm, the protocol's timer idiom: only the rearmed
+        event fires."""
+        log = []
+        ev = sim.schedule(1.0, lambda: log.append("old"))
+        sim.cancel(ev)
+        sim.schedule(1.0, lambda: log.append("new"))
+        sim.run()
+        assert log == ["new"]
