@@ -1,0 +1,180 @@
+"""E8 — campaign runtime scaling: pool speedup, identity, store resume.
+
+The parallel campaign runtime (DESIGN.md "Parallel runtime & result
+store") makes three promises this bench holds it to:
+
+* **identity** — a campaign fanned across a ``pool(2)`` executor produces
+  per-seed results bit-for-bit identical to the serial run (determinism
+  is per cell: everything derives from ``config.seed``, so the executor
+  strategy must be invisible in the numbers);
+* **near-linear speedup** — the cell matrix is embarrassingly parallel,
+  so with 2 workers the wall-clock should approach half the serial time
+  (asserted loosely to survive noisy CI machines; skipped outright on
+  single-core hosts where no speedup is physically possible);
+* **resume** — an interrupted campaign backed by a JSONL result store
+  completes on re-invocation *without re-executing finished cells*, and a
+  fully-complete store re-executes nothing, returning stored results
+  identical to a fresh run.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import replace
+
+import pytest
+
+from benchmarks.conftest import once
+from repro.experiments.parallel import (
+    CampaignStore,
+    cell_key,
+    run_cells,
+    same_metrics,
+)
+from repro.experiments.reporting import format_table
+from repro.experiments.runner import ExperimentConfig
+
+BASE = ExperimentConfig(
+    topology="erdos_renyi",
+    topology_kwargs={"n": 16, "p": 0.25, "delay_range": (0.2, 1.0)},
+    duration=200.0,
+    rho=0.7,
+    seed=0,
+)
+SEEDS = (0, 1, 2, 3)
+
+
+def _cells(base, seeds):
+    out = []
+    for seed in seeds:
+        cfg = replace(base, seed=seed)
+        out.append((cell_key(cfg), cfg))
+    return out
+
+
+def test_e8_serial_parallel_identity(benchmark, emit):
+    """--jobs must be invisible in the results: serial ≡ pool per seed."""
+    cells = _cells(BASE, SEEDS)
+
+    def run_both():
+        return run_cells(cells, executor="serial"), run_cells(cells, executor="pool(2)")
+
+    serial, pool = once(benchmark, run_both)
+    rows = []
+    for key, cfg in cells:
+        assert serial[key].ok and pool[key].ok
+        assert same_metrics(serial[key], pool[key]), (
+            f"cell {key} (seed={cfg.seed}) diverged between serial and pool runs"
+        )
+        rows.append(
+            {
+                "seed": cfg.seed,
+                "cell": key,
+                "GR serial": round(serial[key].metrics["guarantee_ratio"], 4),
+                "GR pool(2)": round(pool[key].metrics["guarantee_ratio"], 4),
+                "identical": "yes",
+            }
+        )
+    emit(
+        "e8_serial_parallel_identity",
+        format_table(
+            rows,
+            title=(
+                "E8a - serial vs pool(2) per-seed identity "
+                "(16 sites, rtds, 4 seeds)\n"
+                "contract: the executor strategy never changes a single metric"
+            ),
+        ),
+    )
+
+
+def test_e8_pool_speedup(benchmark, emit):
+    """Two workers must buy a near-linear win on a multi-core host."""
+    if (os.cpu_count() or 1) < 2:
+        pytest.skip("speedup is physically impossible on a single-core host")
+    # chunkier cells so per-cell work dominates pool start-up
+    base = replace(BASE, duration=1500.0)
+    cells = _cells(base, range(8))
+
+    def measure():
+        t0 = time.perf_counter()
+        serial = run_cells(cells, executor="serial")
+        t_serial = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        pool = run_cells(cells, executor="pool(2)")
+        t_pool = time.perf_counter() - t0
+        return serial, pool, t_serial, t_pool
+
+    serial, pool, t_serial, t_pool = once(benchmark, measure)
+    assert all(same_metrics(serial[k], pool[k]) for k, _ in cells)
+    speedup = t_serial / t_pool
+    emit(
+        "e8_pool_speedup",
+        format_table(
+            [
+                {"executor": "serial", "jobs": 1, "wall s": round(t_serial, 2),
+                 "speedup": 1.0, "efficiency": 1.0},
+                {"executor": "pool(2)", "jobs": 2, "wall s": round(t_pool, 2),
+                 "speedup": round(speedup, 2), "efficiency": round(speedup / 2, 2)},
+            ],
+            title=(
+                "E8b - campaign wall-clock, 8 cells x ~0.4s (16 sites, rtds)\n"
+                "expectation: near-linear speedup (efficiency -> 1) with 2 workers"
+            ),
+        ),
+    )
+    assert speedup >= 1.25, (
+        f"pool(2) speedup {speedup:.2f}x over serial ({t_serial:.2f}s -> {t_pool:.2f}s); "
+        "the cell matrix is embarrassingly parallel, expected >= 1.25x"
+    )
+
+
+def test_e8_store_resume(benchmark, emit, tmp_path):
+    """A killed campaign resumes without re-executing finished cells."""
+    store = CampaignStore(tmp_path / "e8.jsonl")
+    cells = _cells(BASE, SEEDS)
+
+    def scenario():
+        # fresh reference run, no store
+        reference = run_cells(cells, executor="serial")
+        # "killed mid-sweep": only the first half of the matrix completed
+        run_cells(cells[:2], executor="serial", store=store)
+        # resume: only the missing cells may execute
+        executed = []
+        resumed = run_cells(
+            cells, executor="serial", store=store,
+            progress=lambda r, done, total: executed.append(r.key),
+        )
+        # a second resume over a complete store executes nothing
+        re_executed = []
+        completed = run_cells(
+            cells, executor="serial", store=store,
+            progress=lambda r, done, total: re_executed.append(r.key),
+        )
+        return reference, resumed, completed, executed, re_executed
+
+    reference, resumed, completed, executed, re_executed = once(benchmark, scenario)
+    assert executed == [key for key, _ in cells[2:]], (
+        f"resume re-executed finished cells: {executed}"
+    )
+    assert re_executed == [], f"complete store still executed {re_executed}"
+    for key, _ in cells:
+        assert same_metrics(reference[key], resumed[key])
+        assert same_metrics(reference[key], completed[key])
+    emit(
+        "e8_store_resume",
+        format_table(
+            [
+                {"phase": "interrupted run", "cells executed": 2, "store records": 2},
+                {"phase": "resume", "cells executed": len(executed),
+                 "store records": len(store.load())},
+                {"phase": "resume (complete)", "cells executed": len(re_executed),
+                 "store records": len(store.load())},
+            ],
+            title=(
+                "E8c - resumable store: completed cells are skipped bit-for-bit\n"
+                "contract: resumed results identical to an uninterrupted run"
+            ),
+        ),
+    )

@@ -5,9 +5,17 @@
     rtds example              # the paper's worked example (Figs 2-4, Table 1)
     rtds run --algorithm rtds --rho 0.6 --sites 16
     rtds run --faults "loss=0.05,jitter=0.5,links=4,sites=1" --seed 3
+    rtds campaign --algorithms rtds,local --runs 8 --jobs 4 --store results/store
     rtds sweep-load --algorithms rtds,local --rhos 0.3,0.6,0.9
     rtds sweep-size --algorithms rtds,focused --sizes 16,36,64
-    rtds sweep-faults --losses 0.0,0.05,0.15,0.3 --runs 3
+    rtds sweep-faults --losses 0.0,0.05,0.15,0.3 --runs 3 --jobs 2 --store results/store --resume
+
+``campaign`` and ``sweep-faults`` run through the parallel campaign
+runtime (:mod:`repro.experiments.parallel`): ``--jobs N`` fans the cell
+matrix across ``N`` worker processes, ``--store DIR`` persists every cell
+to a JSONL result store as it finishes, and ``--resume`` skips cells the
+store already completed (failed cells are retried). Live per-cell
+progress goes to stderr; tables go to stdout.
 """
 
 from __future__ import annotations
@@ -15,9 +23,10 @@ from __future__ import annotations
 import argparse
 import sys
 from dataclasses import replace
-from typing import List
+from typing import List, Optional
 
 from repro.core.config import RTDSConfig
+from repro.errors import CampaignCellError, ConfigError
 from repro.experiments.evaluation import (
     sweep_ablations,
     sweep_load,
@@ -89,6 +98,52 @@ def _base_config(args: argparse.Namespace) -> ExperimentConfig:
     )
 
 
+def _progress_printer():
+    """Per-cell progress line on stderr (stdout stays clean for tables)."""
+
+    def on_result(result, done: int, total: int) -> None:
+        gr = result.metrics.get("guarantee_ratio")
+        tail = f"GR={gr:.4f}" if gr is not None else f"error: {result.error}"
+        print(
+            f"[{done}/{total}] {result.status:>6}  cell {result.key}  "
+            f"{result.label} seed={result.seed}  {tail}  ({result.elapsed:.2f}s)",
+            file=sys.stderr,
+            flush=True,
+        )
+
+    return on_result
+
+
+def _campaign_store(args: argparse.Namespace, name: str):
+    """The CampaignStore for ``--store`` (None when the flag is absent)."""
+    if not getattr(args, "store", None):
+        return None
+    from repro.experiments.parallel import ResultStore
+
+    return ResultStore(args.store).campaign(name)
+
+
+def _report_cell_failures(err: CampaignCellError, has_store: bool) -> int:
+    print(f"error: {len(err.failures)} campaign cell(s) failed", file=sys.stderr)
+    for failure in err.failures:
+        print(
+            f"  failed cell {failure.key} ({failure.label}, seed={failure.seed}): "
+            f"{failure.error}",
+            file=sys.stderr,
+        )
+    if all(f.error and f.error.startswith("ConfigError") for f in err.failures):
+        # deterministic config mistakes reproduce on every retry
+        print("these are configuration errors; fix the config and rerun", file=sys.stderr)
+    elif has_store:
+        print("rerun with --resume to retry only the failed cells", file=sys.stderr)
+    else:
+        print(
+            "attach --store DIR and rerun to record results and retry only failures",
+            file=sys.stderr,
+        )
+    return 1
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     cfg = replace(_base_config(args), algorithm=args.algorithm)
     res = run_experiment(cfg)
@@ -99,6 +154,40 @@ def _cmd_run(args: argparse.Namespace) -> int:
         from repro.metrics.faults import fault_report
 
         print(format_table(fault_report(res).rows(), title="fault report"))
+    return 0
+
+
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    from repro.experiments.campaign import Campaign
+
+    base = _base_config(args)
+    algos = args.algorithms.split(",")
+    try:
+        camp = Campaign(
+            base,
+            seeds=range(args.seed, args.seed + args.runs),
+            executor=args.jobs,
+            store=_campaign_store(args, args.name),
+            resume=args.resume,
+            progress=_progress_printer(),
+        )
+        rows = camp.table(algos)
+    except CampaignCellError as err:
+        return _report_cell_failures(err, has_store=bool(args.store))
+    except ConfigError as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 1
+    print(
+        format_table(
+            rows,
+            title=(
+                f"campaign: {len(algos)} algorithm(s) x {args.runs} seeds "
+                f"(mean ± 95% CI, jobs={args.jobs})"
+            ),
+        )
+    )
+    for other in algos[1:]:
+        print(camp.compare(algos[0], other))
     return 0
 
 
@@ -113,11 +202,25 @@ def _cmd_sweep_faults(args: argparse.Namespace) -> int:
             rtds=hardened(base.rtds, ack_timeout=args.ack_timeout, ack_retries=args.ack_retries),
         )
     losses = [float(x) for x in args.losses.split(",")]
-    template = (
-        FaultPlan.from_spec(args.faults) if getattr(args, "faults", None) else FaultPlan()
-    )
-    plans = [(f"loss={p:g}", template.scaled(p)) for p in losses]
-    rows = sweep_fault_plans(base, plans, seeds=tuple(range(args.runs)))
+    try:
+        template = (
+            FaultPlan.from_spec(args.faults) if getattr(args, "faults", None) else FaultPlan()
+        )
+        plans = [(f"loss={p:g}", template.scaled(p)) for p in losses]
+        rows = sweep_fault_plans(
+            base,
+            plans,
+            seeds=range(args.seed, args.seed + args.runs),
+            executor=args.jobs,
+            store=_campaign_store(args, "sweep-faults"),
+            resume=args.resume,
+            progress=_progress_printer(),
+        )
+    except CampaignCellError as err:
+        return _report_cell_failures(err, has_store=bool(args.store))
+    except ConfigError as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 1
     print(format_table(rows, title="E7: guarantee ratio vs message-loss rate"))
     return 0
 
@@ -155,7 +258,8 @@ def _cmd_ablations(args: argparse.Namespace) -> int:
     return 0
 
 
-def main(argv: List[str] | None = None) -> int:
+def build_parser() -> argparse.ArgumentParser:
+    """The ``rtds`` argument parser (exposed for docs/completion tooling)."""
     parser = argparse.ArgumentParser(prog="rtds", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -176,14 +280,41 @@ def main(argv: List[str] | None = None) -> int:
         p.add_argument("--ack-timeout", type=float, default=5.0, dest="ack_timeout")
         p.add_argument("--ack-retries", type=int, default=1, dest="ack_retries")
 
+    def runtime(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--jobs", type=int, default=1,
+            help="worker processes for the cell matrix (1 = serial)",
+        )
+        p.add_argument(
+            "--store", default=None,
+            help="directory of the persistent JSONL result store",
+        )
+        p.add_argument(
+            "--resume", action="store_true",
+            help="skip cells already completed in --store (failed cells are retried)",
+        )
+
     p_run = sub.add_parser("run", help="one experiment")
     common(p_run)
     p_run.add_argument("--algorithm", default="rtds")
+
+    p_camp = sub.add_parser(
+        "campaign", help="replicated multi-algorithm campaign with 95%% CIs"
+    )
+    common(p_camp)
+    p_camp.add_argument("--algorithms", default="rtds,local")
+    p_camp.add_argument(
+        "--runs", type=int, default=8,
+        help="replications per algorithm (seeds --seed .. --seed+runs-1)",
+    )
+    p_camp.add_argument("--name", default="campaign", help="store file name")
+    runtime(p_camp)
 
     p_sf = sub.add_parser("sweep-faults", help="E7 guarantee vs loss-rate sweep")
     common(p_sf)
     p_sf.add_argument("--losses", default="0.0,0.05,0.15,0.3")
     p_sf.add_argument("--runs", type=int, default=2)
+    runtime(p_sf)
 
     p_sl = sub.add_parser("sweep-load", help="E1 load sweep")
     common(p_sl)
@@ -203,10 +334,17 @@ def main(argv: List[str] | None = None) -> int:
     p_ab = sub.add_parser("sweep-ablations", help="E5 §13 generalization ablations")
     common(p_ab)
 
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point of the ``rtds`` command."""
+    parser = build_parser()
     args = parser.parse_args(argv)
     commands = {
         "example": _cmd_example,
         "run": _cmd_run,
+        "campaign": _cmd_campaign,
         "sweep-load": _cmd_sweep_load,
         "sweep-size": _cmd_sweep_size,
         "sweep-radius": _cmd_sweep_radius,

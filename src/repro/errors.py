@@ -57,5 +57,26 @@ class ConfigError(ReproError):
     """Invalid experiment or algorithm configuration."""
 
 
+class CampaignCellError(ReproError):
+    """One or more campaign cells failed (raised after the whole sweep ran).
+
+    Carries the failed
+    :class:`~repro.experiments.parallel.CellResult` records in
+    ``failures``; the message names every cell key and seed so a single
+    broken replication is diagnosable without a bare mid-sweep traceback.
+    """
+
+    def __init__(self, failures):
+        self.failures = list(failures)
+        detail = "; ".join(
+            f"cell {r.key} ({r.label}, seed={r.seed}): {r.error}" for r in self.failures
+        )
+        super().__init__(
+            f"{len(self.failures)} campaign cell(s) failed — {detail} "
+            "(when a result store is attached, failures are recorded there "
+            "and a resumed run retries only them)"
+        )
+
+
 class WorkloadError(ReproError):
     """Invalid workload specification (negative rates, bad laxity factor)."""

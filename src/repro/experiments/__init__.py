@@ -4,6 +4,12 @@
   (:func:`run_experiment`) that builds topology + sites + workload from a
   declarative :class:`ExperimentConfig`, runs the simulation in two phases
   (setup/routing, then workload) and returns summaries;
+* :mod:`repro.experiments.parallel` — the campaign runtime:
+  content-addressed cell keys, serial/pool executor strategies, and the
+  resumable on-disk JSONL result store;
+* :mod:`repro.experiments.campaign` — replications, confidence intervals
+  and paired comparisons (:class:`Campaign`), and the E7 fault sweep
+  (:func:`sweep_fault_plans`), both running through the parallel runtime;
 * :mod:`repro.experiments.paper_example` — exact regeneration of the
   paper's worked example (Figs 2–4, Table 1) and a Figure-1-style protocol
   trace;
@@ -12,7 +18,23 @@
 * :mod:`repro.experiments.reporting` — plain-text tables.
 """
 
-from repro.experiments.campaign import Aggregate, Campaign, PairedComparison
+from repro.experiments.campaign import (
+    Aggregate,
+    Campaign,
+    PairedComparison,
+    sweep_fault_plans,
+)
+from repro.experiments.parallel import (
+    CampaignStore,
+    CellResult,
+    PoolExecutor,
+    ResultStore,
+    SerialExecutor,
+    cell_key,
+    make_executor,
+    run_cell,
+    run_cells,
+)
 from repro.experiments.runner import ExperimentConfig, RunResult, run_experiment
 from repro.experiments.verify import assert_sound, verify_execution
 from repro.experiments.paper_example import (
@@ -30,6 +52,16 @@ __all__ = [
     "Aggregate",
     "Campaign",
     "PairedComparison",
+    "sweep_fault_plans",
+    "CampaignStore",
+    "CellResult",
+    "PoolExecutor",
+    "ResultStore",
+    "SerialExecutor",
+    "cell_key",
+    "make_executor",
+    "run_cell",
+    "run_cells",
     "ExperimentConfig",
     "RunResult",
     "run_experiment",

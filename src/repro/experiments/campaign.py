@@ -7,31 +7,57 @@ algorithms pairwise (difference of guarantee ratios with its own CI via
 per-seed pairing — the right analysis for matched workloads, since all
 algorithms see the *same* arrivals for a given seed).
 
-Used by the E1 bench's CI variant and available to users:
+Execution is delegated to :mod:`repro.experiments.parallel`: a campaign's
+(algorithm, seed) matrix is a list of content-addressed *cells* handed to
+an executor strategy (``serial`` by default, or a ``pool(n)`` worker
+pool), optionally backed by a persistent
+:class:`~repro.experiments.parallel.CampaignStore` so interrupted
+campaigns resume by skipping completed cells. Aggregation here only ever
+touches the serializable
+:class:`~repro.experiments.parallel.CellResult` records.
 
-    camp = Campaign(base_config, seeds=range(8))
+Used by the E1 bench's CI variant, the ``rtds campaign`` CLI command, and
+available to users:
+
+    camp = Campaign(base_config, seeds=range(8), executor="pool(4)")
     agg = camp.run("rtds")
     print(agg.mean["GR"], "+/-", agg.ci["GR"])
     diff = camp.compare("rtds", "local")     # paired per-seed differences
 
+A single failing replication no longer aborts the sweep with a bare
+traceback: every cell runs, failures are recorded (in the store when one
+is attached), and one :class:`~repro.errors.CampaignCellError` naming
+each failed cell key and seed is raised at the end — a resumed run
+retries only those cells.
+
 Fault sweeps (:func:`sweep_fault_plans`) replicate one configuration across
 seeds for each :class:`~repro.faults.plan.FaultPlan` in a list — the E7
 guarantee-vs-loss-rate curve — aggregating both the scheduler metrics and
-the churn damage counters.
+the churn damage counters, through the same executor/store machinery.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.errors import ConfigError
-from repro.experiments.runner import ExperimentConfig, RunResult, run_experiment
+from repro.experiments.parallel import (
+    CampaignStore,
+    Cell,
+    CellResult,
+    ProgressFn,
+    cell_key,
+    make_executor,
+    raise_on_failures,
+    run_cells,
+)
+from repro.experiments.runner import ExperimentConfig
 from repro.metrics.stats import mean_confidence_interval
 
-#: summary attributes aggregated per campaign
+#: summary attributes aggregated per campaign: display key -> metric name
 _METRICS = (
     ("GR", "guarantee_ratio"),
     ("effGR", "effective_ratio"),
@@ -53,6 +79,7 @@ class Aggregate:
     per_seed: Dict[str, List[float]] = field(repr=False, default_factory=dict)
 
     def row(self) -> Dict[str, object]:
+        """Flat ``mean±ci`` dict for :func:`~repro.experiments.reporting.format_table`."""
         out: Dict[str, object] = {"label": self.label, "runs": self.n_runs}
         for key in self.mean:
             out[key] = f"{self.mean[key]:.4g}±{self.ci[key]:.2g}"
@@ -84,29 +111,80 @@ class PairedComparison:
 
 
 class Campaign:
-    """Runs one base configuration across seeds and algorithms."""
+    """Runs one base configuration across seeds and algorithms.
 
-    def __init__(self, base: ExperimentConfig, seeds: Iterable[int]):
+    ``executor`` is anything :func:`~repro.experiments.parallel.make_executor`
+    accepts (``None``/``"serial"``/``"pool(4)"``/an int/an instance);
+    ``store`` persists per-cell results and, with ``resume`` (default),
+    skips cells it already completed; ``progress`` fires per executed cell.
+    """
+
+    def __init__(
+        self,
+        base: ExperimentConfig,
+        seeds: Iterable[int],
+        executor=None,
+        store: Optional[CampaignStore] = None,
+        resume: bool = True,
+        progress: Optional[ProgressFn] = None,
+    ):
         self.base = base
         self.seeds = list(seeds)
         if not self.seeds:
             raise ConfigError("campaign needs at least one seed")
-        self._cache: Dict[tuple, RunResult] = {}
+        self.executor = make_executor(executor)
+        self.store = store
+        self.resume = resume
+        self.progress = progress
+        self._cache: Dict[tuple, CellResult] = {}
 
-    def _run(self, algorithm: str, seed: int) -> RunResult:
-        key = (algorithm, seed)
-        if key not in self._cache:
-            cfg = replace(self.base, algorithm=algorithm, seed=seed, label=algorithm)
-            self._cache[key] = run_experiment(cfg)
-        return self._cache[key]
+    def cell_config(self, algorithm: str, seed: int) -> ExperimentConfig:
+        """The fully-resolved config of one (algorithm, seed) cell."""
+        return replace(self.base, algorithm=algorithm, seed=seed, label=algorithm)
+
+    def prefetch(self, algorithms: Sequence[str]) -> None:
+        """Execute every missing (algorithm, seed) cell in one executor pass.
+
+        Fanning the *whole* matrix at once is what lets a worker pool keep
+        every core busy; ``run``/``compare``/``table`` all route through
+        here, so calling them directly is never slower — just less batched.
+        Raises :class:`~repro.errors.CampaignCellError` (after recording
+        every failure) if any cell failed; successful cells stay cached.
+        """
+        todo = [
+            (algo, seed)
+            for algo in algorithms
+            for seed in self.seeds
+            if (algo, seed) not in self._cache
+        ]
+        if not todo:
+            return
+        cells: List[Cell] = []
+        for algo, seed in todo:
+            cfg = self.cell_config(algo, seed)
+            cells.append((cell_key(cfg), cfg))
+        results = run_cells(
+            cells,
+            executor=self.executor,
+            store=self.store,
+            progress=self.progress,
+            skip_completed=self.resume,
+        )
+        for (algo, seed), (key, _) in zip(todo, cells):
+            if results[key].ok:  # failures are retried on the next call
+                self._cache[(algo, seed)] = results[key]
+        raise_on_failures(results)
+
+    def _metric(self, algorithm: str, seed: int, attr: str) -> float:
+        return float(self._cache[(algorithm, seed)].metrics[attr])
 
     def run(self, algorithm: str) -> Aggregate:
         """All replications of one algorithm, aggregated."""
-        per_seed: Dict[str, List[float]] = {k: [] for k, _ in _METRICS}
-        for seed in self.seeds:
-            s = self._run(algorithm, seed).summary
-            for key, attr in _METRICS:
-                per_seed[key].append(float(getattr(s, attr)))
+        self.prefetch([algorithm])
+        per_seed: Dict[str, List[float]] = {
+            key: [self._metric(algorithm, seed, attr) for seed in self.seeds]
+            for key, attr in _METRICS
+        }
         mean: Dict[str, float] = {}
         ci: Dict[str, float] = {}
         for key, vals in per_seed.items():
@@ -125,17 +203,23 @@ class Campaign:
         if metric not in keys:
             raise ConfigError(f"unknown metric {metric!r}; known: {sorted(keys)}")
         attr = dict(_METRICS)[metric]
+        self.prefetch([a, b])
         diffs = []
         for seed in self.seeds:
-            va = float(getattr(self._run(a, seed).summary, attr))
-            vb = float(getattr(self._run(b, seed).summary, attr))
+            va = self._metric(a, seed, attr)
+            vb = self._metric(b, seed, attr)
             if not (np.isnan(va) or np.isnan(vb)):
                 diffs.append(va - vb)
         m, h = mean_confidence_interval(diffs)
         return PairedComparison(metric=metric, a=a, b=b, mean_diff=m, ci=h, n=len(diffs))
 
     def table(self, algorithms: Sequence[str]) -> List[Dict[str, object]]:
-        """One aggregate row per algorithm (for ``format_table``)."""
+        """One aggregate row per algorithm (for ``format_table``).
+
+        Prefetches the full algorithms × seeds matrix in one executor
+        pass, so with a pool executor the whole table parallelizes.
+        """
+        self.prefetch(list(algorithms))
         return [self.run(a).row() for a in algorithms]
 
 
@@ -143,6 +227,10 @@ def sweep_fault_plans(
     base: ExperimentConfig,
     plans: Sequence[tuple],
     seeds: Iterable[int] = (0,),
+    executor=None,
+    store: Optional[CampaignStore] = None,
+    resume: bool = True,
+    progress: Optional[ProgressFn] = None,
 ) -> List[Dict[str, object]]:
     """Replicate ``base`` across seeds for each ``(label, FaultPlan)``.
 
@@ -150,40 +238,50 @@ def sweep_fault_plans(
     ratios plus the summed churn damage (lost messages, degraded phases,
     dropped jobs) — the E7 fault-sweep table. ``base`` must already carry a
     hardened RTDS config when any plan is nonzero.
-    """
-    from repro.metrics.faults import fault_report
 
+    The full plans × seeds matrix goes through one
+    :func:`~repro.experiments.parallel.run_cells` pass, so it accepts the
+    same ``executor``/``store``/``resume``/``progress`` knobs as
+    :class:`Campaign` and resumes interrupted sweeps the same way.
+    """
     seeds = list(seeds)
     if not seeds:
         raise ConfigError("fault sweep needs at least one seed")
-    rows: List[Dict[str, object]] = []
+    cells: List[Cell] = []
+    plan_keys: List[Tuple[str, List[str]]] = []
     for label, plan in plans:
-        grs, effs = [], []
-        lost = degraded = dropped = retransmits = 0
+        keys: List[str] = []
         for seed in seeds:
             cfg = replace(base, faults=plan, seed=seed, label=str(label))
-            res = run_experiment(cfg)
-            rep = fault_report(res)
-            grs.append(rep.guarantee_ratio)
-            effs.append(rep.effective_ratio)
-            lost += rep.lost_messages
-            degraded += rep.degraded_phases
-            dropped += rep.jobs_dropped
-            retransmits += rep.retransmissions
+            key = cell_key(cfg)
+            keys.append(key)
+            cells.append((key, cfg))
+        plan_keys.append((str(label), keys))
+
+    results = run_cells(
+        cells, executor=executor, store=store, progress=progress, skip_completed=resume
+    )
+    raise_on_failures(results)
+
+    rows: List[Dict[str, object]] = []
+    for label, keys in plan_keys:
+        cell_results = [results[k] for k in keys]
+        grs = [r.metrics["guarantee_ratio"] for r in cell_results]
+        effs = [r.metrics["effective_ratio"] for r in cell_results]
         gr_m, gr_h = mean_confidence_interval(grs)
         eff_m, eff_h = mean_confidence_interval(effs)
         rows.append(
             {
-                "plan": str(label),
+                "plan": label,
                 "runs": len(seeds),
                 "GR": round(gr_m, 4),
                 "GR±": round(gr_h, 4),
                 "effGR": round(eff_m, 4),
                 "effGR±": round(eff_h, 4),
-                "lost": lost,
-                "retransmit": retransmits,
-                "degraded": degraded,
-                "jobs_dropped": dropped,
+                "lost": sum(r.faults["lost_messages"] for r in cell_results),
+                "retransmit": sum(r.faults["retransmissions"] for r in cell_results),
+                "degraded": sum(r.faults["degraded_phases"] for r in cell_results),
+                "jobs_dropped": sum(r.faults["jobs_dropped"] for r in cell_results),
             }
         )
     return rows

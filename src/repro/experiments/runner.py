@@ -113,6 +113,7 @@ class ExperimentConfig:
             )
 
     def resolved_label(self) -> str:
+        """The display label: explicit ``label`` or the algorithm name."""
         return self.label or self.algorithm
 
 
@@ -134,9 +135,28 @@ class RunResult:
     faults: Optional[FaultInjector] = None
 
     def site_utilizations(self, start: float, end: float) -> Dict[int, float]:
+        """Per-site compute utilization over the window ``[start, end]``."""
         return {
             sid: site.plan.load_between(start, end)
             for sid, site in self.network.sites.items()
+        }
+
+    def scalar_metrics(self) -> Dict[str, float]:
+        """Every numeric summary field as a plain JSON-able dict.
+
+        The serialization boundary between execution and aggregation: this
+        is what crosses worker-pool processes and lands in the campaign
+        result store (:mod:`repro.experiments.parallel`), so campaigns can
+        aggregate without holding networks or collectors. New numeric
+        fields on :class:`~repro.metrics.summary.ExperimentSummary` flow
+        through automatically; strings and dicts are excluded.
+        """
+        from dataclasses import fields as dc_fields
+
+        return {
+            f.name: getattr(self.summary, f.name)
+            for f in dc_fields(self.summary)
+            if isinstance(getattr(self.summary, f.name), (int, float))
         }
 
 

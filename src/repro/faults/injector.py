@@ -60,6 +60,7 @@ class FaultStats:
 
     @property
     def lost_total(self) -> int:
+        """Messages dropped by the injector, summed over every cause."""
         return self.lost_link_down + self.lost_site_down + self.lost_random
 
     def row(self) -> Dict[str, object]:
@@ -200,6 +201,7 @@ class FaultInjector:
         return sid in self._down_sites
 
     def link_down(self, u: SiteId, v: SiteId) -> bool:
+        """True while the link between ``u`` and ``v`` is severed."""
         key = (u, v) if u < v else (v, u)
         return key in self._down_links
 

@@ -59,6 +59,7 @@ class LinkDownWindow:
 
     @property
     def key(self) -> Tuple[SiteId, SiteId]:
+        """The canonical ``(min, max)`` link identifier, like ``Link.key``."""
         return (self.u, self.v)
 
 

@@ -38,6 +38,85 @@ class TestRun:
         assert rc == 0
 
 
+class TestCampaign:
+    def test_campaign_table_and_comparison(self, capsys):
+        rc, out = run_cli(
+            capsys, "campaign", "--algorithms", "local,rtds", "--runs", "2",
+            "--sites", "6", "--duration", "50",
+        )
+        assert rc == 0
+        assert "campaign" in out
+        assert "±" in out
+        assert "local - rtds" in out  # paired comparison printed
+
+    def test_campaign_store_and_resume(self, capsys, tmp_path):
+        args = (
+            "campaign", "--algorithms", "local", "--runs", "2", "--sites", "6",
+            "--duration", "50", "--store", str(tmp_path), "--resume",
+        )
+        rc, _ = run_cli(capsys, *args)
+        assert rc == 0
+        store_file = tmp_path / "campaign.jsonl"
+        lines = store_file.read_text().strip().splitlines()
+        assert len(lines) == 2  # one record per (algorithm, seed) cell
+        # resume: no cell re-executes, so no new records are appended
+        rc, out = run_cli(capsys, *args)
+        assert rc == 0
+        assert store_file.read_text().strip().splitlines() == lines
+        assert "±" in out  # table still printed from stored cells
+
+    def test_campaign_parallel_jobs(self, capsys):
+        rc, out = run_cli(
+            capsys, "campaign", "--algorithms", "local", "--runs", "2",
+            "--sites", "6", "--duration", "50", "--jobs", "2",
+        )
+        assert rc == 0
+        assert "jobs=2" in out
+
+    def test_campaign_failure_reports_cells(self, capsys, tmp_path, monkeypatch):
+        import repro.experiments.parallel as par
+
+        def explode(config):
+            raise RuntimeError("synthetic cell crash")
+
+        monkeypatch.setattr(par, "run_experiment", explode)
+        rc = main(
+            [
+                "campaign", "--algorithms", "local", "--runs", "1", "--sites", "6",
+                "--duration", "50", "--store", str(tmp_path),
+            ]
+        )
+        err = capsys.readouterr().err
+        assert rc == 1
+        assert "failed cell" in err and "seed=0" in err
+        assert "--resume" in err
+        assert (tmp_path / "campaign.jsonl").exists()
+
+    def test_sweep_faults_with_store(self, capsys, tmp_path):
+        rc, out = run_cli(
+            capsys, "sweep-faults", "--sites", "6", "--duration", "50",
+            "--losses", "0.0", "--runs", "1", "--store", str(tmp_path), "--resume",
+        )
+        assert rc == 0
+        assert "E7" in out
+        assert (tmp_path / "sweep-faults.jsonl").exists()
+
+
+class TestParserIntrospection:
+    def test_build_parser_lists_all_subcommands(self):
+        import argparse
+
+        from repro.cli import build_parser
+
+        parser = build_parser()
+        sub = next(
+            a for a in parser._actions if isinstance(a, argparse._SubParsersAction)
+        )
+        assert {"example", "run", "campaign", "sweep-faults", "sweep-load"} <= set(
+            sub.choices
+        )
+
+
 class TestSweeps:
     def test_sweep_load(self, capsys):
         rc, out = run_cli(

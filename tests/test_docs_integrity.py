@@ -36,6 +36,23 @@ class TestDesignMd:
             pkg = ROOT / "src" / "repro" / mod.replace(".", "/") / "__init__.py"
             assert path.exists() or pkg.exists(), f"repro.{mod} referenced but missing"
 
+    def test_parallel_runtime_section(self):
+        """The campaign runtime must stay documented where it is built."""
+        text = read("DESIGN.md")
+        assert "Parallel runtime & result store" in text
+        assert "`repro.experiments.parallel`" in text
+        lower = text.lower()
+        for concept in (
+            "cell key",
+            "content-address",
+            "jsonl",
+            "resume",
+            "determinism",
+            "last record per key",
+        ):
+            assert concept.lower() in lower, f"DESIGN.md must document {concept!r}"
+        assert "bench_e8_scaling.py" in text
+
 
 class TestExperimentsMd:
     def test_every_artifact_has_a_bench(self):
@@ -49,6 +66,24 @@ class TestExperimentsMd:
         for anchor in ("M = 33", "M* = 19", "case (ii)"):
             assert anchor in text, anchor
 
+    def test_every_sweep_entry_has_a_cli_line(self):
+        """Each E1–E8 artifact must carry the exact line that reproduces it."""
+        text = read("EXPERIMENTS.md")
+        for exp in ("E1", "E1b", "E2", "E3", "E4", "E5", "E6", "E7", "E8"):
+            assert re.search(rf"### {re.escape(exp)} —", text), f"missing entry {exp}"
+        # every experiment entry is followed by a runnable command line
+        entries = re.split(r"### ", text)[1:]
+        for entry in entries:
+            assert re.search(r"```bash\n(rtds |PYTHONPATH=src )", entry), (
+                f"entry {entry.splitlines()[0]!r} lacks a CLI line"
+            )
+        # the campaign-runtime flags are shown in anger, not just described
+        assert "--jobs" in text and "--store" in text and "--resume" in text
+
+    def test_e8_links_its_bench(self):
+        text = read("EXPERIMENTS.md")
+        assert "bench_e8_scaling.py" in text
+
 
 class TestReadme:
     def test_examples_exist(self):
@@ -60,3 +95,28 @@ class TestReadme:
         text = read("README.md")
         assert "pip install -e ." in text
         assert "pytest benchmarks/ --benchmark-only" in text
+
+    def test_cli_reference_covers_every_subcommand(self):
+        """The README CLI table must track the real parser."""
+        import argparse
+        import sys
+
+        sys.path.insert(0, str(ROOT / "src"))
+        try:
+            from repro.cli import build_parser
+        finally:
+            sys.path.pop(0)
+        sub = next(
+            a
+            for a in build_parser()._actions
+            if isinstance(a, argparse._SubParsersAction)
+        )
+        text = read("README.md")
+        for command in sub.choices:
+            assert f"rtds {command}" in text, f"README CLI table misses {command!r}"
+
+    def test_quickstart_runs_a_parallel_campaign(self):
+        text = read("README.md")
+        assert "rtds campaign" in text
+        for flag in ("--jobs", "--store", "--resume"):
+            assert flag in text, f"README quickstart must show {flag}"
