@@ -4,6 +4,7 @@
 
     rtds example              # the paper's worked example (Figs 2-4, Table 1)
     rtds run --algorithm rtds --rho 0.6 --sites 16
+    rtds profile --sites 48 --duration 300    # cProfile an experiment
     rtds run --faults "loss=0.05,jitter=0.5,links=4,sites=1" --seed 3
     rtds campaign --algorithms rtds,local --runs 8 --jobs 4 --store results/store
     rtds sweep-load --algorithms rtds,local --rhos 0.3,0.6,0.9
@@ -142,6 +143,40 @@ def _report_cell_failures(err: CampaignCellError, has_store: bool) -> int:
             file=sys.stderr,
         )
     return 1
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    """cProfile one experiment and print the top cumulative offenders.
+
+    The starting point of every perf PR: run it before guessing. Also
+    reports raw event throughput (total and loop-only), the numbers the
+    E9 bench gates on.
+    """
+    import cProfile
+    import pstats
+    import time
+
+    cfg = replace(_base_config(args), algorithm=args.algorithm)
+    profiler = cProfile.Profile()
+    t0 = time.perf_counter()
+    profiler.enable()
+    res = run_experiment(cfg)
+    profiler.disable()
+    wall = time.perf_counter() - t0
+    sim = res.network.sim
+    print(
+        f"profiled: {args.algorithm}, {args.sites} sites, duration {args.duration}, "
+        f"seed {args.seed}"
+    )
+    print(
+        f"{sim.events_processed} events in {wall:.3f}s wall "
+        f"({sim.events_processed / wall:.0f} events/sec; "
+        f"loop only: {sim.events_processed / sim.wall_seconds:.0f} events/sec)"
+    )
+    print(f"note: cProfile instrumentation inflates wall time; ratios matter, not totals\n")
+    stats = pstats.Stats(profiler, stream=sys.stdout)
+    stats.sort_stats(args.sort).print_stats(args.limit)
+    return 0
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
@@ -298,6 +333,19 @@ def build_parser() -> argparse.ArgumentParser:
     common(p_run)
     p_run.add_argument("--algorithm", default="rtds")
 
+    p_prof = sub.add_parser(
+        "profile", help="cProfile one experiment; print the top offenders"
+    )
+    common(p_prof)
+    p_prof.add_argument("--algorithm", default="rtds")
+    p_prof.add_argument(
+        "--limit", type=int, default=25, help="rows of profile output"
+    )
+    p_prof.add_argument(
+        "--sort", default="cumulative", choices=["cumulative", "tottime", "ncalls"],
+        help="pstats sort key",
+    )
+
     p_camp = sub.add_parser(
         "campaign", help="replicated multi-algorithm campaign with 95%% CIs"
     )
@@ -344,6 +392,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     commands = {
         "example": _cmd_example,
         "run": _cmd_run,
+        "profile": _cmd_profile,
         "campaign": _cmd_campaign,
         "sweep-load": _cmd_sweep_load,
         "sweep-size": _cmd_sweep_size,

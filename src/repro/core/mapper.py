@@ -83,19 +83,25 @@ def build_trial_mapping(
     while free:
         _, _, t = heapq.heappop(free)
         c = dag.complexity(t)
+        preds = dag.predecessors(t)
         best: Optional[Tuple[Time, int, Time]] = None  # (finish, proc, start)
         for i, spec in enumerate(procs):
             ready = job_release
-            for p in dag.predecessors(t):
-                gap = 0.0 if assignment[p] == i else omega
-                ready = max(ready, finish[p] + gap)
+            for p in preds:
+                pf = finish[p] if assignment[p] == i else finish[p] + omega
+                if pf > ready:
+                    ready = pf
             if spec.timeline is None:
                 dur = spec.estimated_duration(c)
-                s = max(ready, proc_avail[i])
+                s = proc_avail[i]
+                if ready > s:
+                    s = ready
                 f = s + dur
             else:
                 dur = spec.optimistic_duration(c)
-                lo = max(ready, proc_avail[i])
+                lo = proc_avail[i]
+                if ready > lo:
+                    lo = ready
                 s0 = scratch[i].earliest_fit(dur, lo, float("inf"))
                 assert s0 is not None  # deadline is +inf
                 s, f = s0, s0 + dur

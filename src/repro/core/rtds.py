@@ -172,7 +172,8 @@ class RTDSSite(SiteBase):
                     total_work=dag.total_complexity(),
                 )
             )
-        self.trace("job.arrival", job=job, tasks=len(dag), deadline=deadline)
+        if self.trace_on:
+            self.trace("job.arrival", job=job, tasks=len(dag), deadline=deadline)
         if self.pcs is None and not self.routing.done:
             self._pre_routing.append(ctx)
             return
@@ -208,10 +209,12 @@ class RTDSSite(SiteBase):
             slots, gates = fit
             self.plan.commit(slots)
             self.executor.notify_committed(slots, gates)
-            self.trace("job.local_accept", job=ctx.job)
+            if self.trace_on:
+                self.trace("job.local_accept", job=ctx.job)
             self._decide(ctx, JobOutcome.ACCEPTED_LOCAL, hosts=[self.sid])
             return
-        self.trace("job.local_reject", job=ctx.job)
+        if self.trace_on:
+            self.trace("job.local_reject", job=ctx.job)
         self._initiate(ctx)
 
     # ------------------------------------------------------------------
@@ -236,7 +239,8 @@ class RTDSSite(SiteBase):
         session.ctx = ctx  # attach the job context
         self.session = session
         sphere_sites = sorted([*members, self.sid])
-        self.trace("acs.enroll", job=ctx.job, asked=len(members))
+        if self.trace_on:
+            self.trace("acs.enroll", job=ctx.job, asked=len(members))
         queue_budget = 0.0
         if self.config.enroll_mode == "queue":
             frac = self.config.enroll_timeout or 0.25
@@ -301,24 +305,23 @@ class RTDSSite(SiteBase):
             return
         self.lock.acquire(initiator, job)
         self._arm_lease(initiator, job, msg.payload.get("lease"))
-        surplus = self.plan.surplus(self.now)
-        self.trace("acs.enrolled", job=job, initiator=initiator, surplus=round(surplus, 4))
+        if self.trace_on:
+            surplus = self.plan.surplus(self.now)
+            self.trace("acs.enrolled", job=job, initiator=initiator, surplus=round(surplus, 4))
         self._send_enroll_ack(job, initiator, members)
 
     def _send_enroll_ack(self, job: JobId, initiator: SiteId, members: List[SiteId]) -> None:
-        distances = {
-            m: self.routing.table.entry(m).distance
-            for m in members
-            if m != self.sid and m in self.routing.table
-        }
+        distances = self.routing.table.distances_to(members, exclude=self.sid)
+        # one timeline walk: busyness is 1 - surplus by definition
+        surplus = self.plan.surplus(self.now)
         self.send_to(
             initiator,
             MSG_ENROLL_ACK,
             {
                 "job": job,
                 "site": self.sid,
-                "surplus": self.plan.surplus(self.now),
-                "busyness": self.plan.busyness(self.now),
+                "surplus": surplus,
+                "busyness": 1.0 - surplus,
                 "speed": self.speed,
                 "distances": distances,
             },
@@ -558,17 +561,20 @@ class RTDSSite(SiteBase):
         self._cancel_lease()
         self._lease_owner = (initiator, job)
         self._lease_duration = lease
-        self._lease_timer = self.sim.schedule(
-            lease, lambda: self._lease_expired(initiator, job)
+        self._lease_timer = self.sim.schedule_call(
+            lease, self._lease_expired_call, (initiator, job)
         )
 
     def _renew_lease(self, initiator: SiteId, job: JobId) -> None:
         """Restart the lease clock: the initiator just showed life."""
         if self._lease_owner == (initiator, job) and self._lease_timer is not None:
             self.sim.cancel(self._lease_timer)
-            self._lease_timer = self.sim.schedule(
-                self._lease_duration, lambda: self._lease_expired(initiator, job)
+            self._lease_timer = self.sim.schedule_call(
+                self._lease_duration, self._lease_expired_call, (initiator, job)
             )
+
+    def _lease_expired_call(self, owner: Tuple[SiteId, JobId]) -> None:
+        self._lease_expired(owner[0], owner[1])
 
     def _cancel_lease(self) -> None:
         if self._lease_timer is not None:
@@ -650,8 +656,9 @@ class RTDSSite(SiteBase):
 
         # Logical processors: ACS candidates by descending surplus. The
         # initiator itself is always a candidate (it is in its own sphere).
+        own_surplus = self.plan.surplus(self.now)
         cands: List[Tuple[float, float, float, SiteId]] = [
-            (self.plan.surplus(self.now), self.speed, self.plan.busyness(self.now), self.sid)
+            (own_surplus, self.speed, 1.0 - own_surplus, self.sid)
         ]
         for m in members:
             e = s.enrolled[m]
@@ -735,7 +742,8 @@ class RTDSSite(SiteBase):
         )
         s.own_slots = slots
         s.record_endorsement(self.sid, endorsed)
-        self.trace("validate.self", job=s.job, endorsed=endorsed)
+        if self.trace_on:
+            self.trace("validate.self", job=s.job, endorsed=endorsed)
         if s.validation_complete():
             self._decide_permutation()
 
@@ -786,7 +794,8 @@ class RTDSSite(SiteBase):
         self._validate_cache[job] = slots
         if self.config.hardened:
             self._validate_ack[job] = list(endorsed)
-        self.trace("validate.member", job=job, endorsed=endorsed)
+        if self.trace_on:
+            self.trace("validate.member", job=job, endorsed=endorsed)
         self.send_to(
             initiator,
             MSG_VALIDATE_ACK,
@@ -824,7 +833,8 @@ class RTDSSite(SiteBase):
             self.trace("validate.fail", job=s.job)
             self._finish_session(JobOutcome.REJECTED_VALIDATION)
             return
-        self.trace("validate.ok", job=s.job, permutation={p: site for p, site in perm.items()})
+        if self.trace_on:
+            self.trace("validate.ok", job=s.job, permutation={p: site for p, site in perm.items()})
         self._dispatch_execution(perm)
 
     # ------------------------------------------------------------------
@@ -910,7 +920,7 @@ class RTDSSite(SiteBase):
                 msg.payload["preds"],
                 msg.payload["volumes"],
             )
-        else:
+        elif self.trace_on:
             self.trace("execute.bystander", job=job)
         if self.config.hardened:
             self._validate_ack.pop(job, None)
@@ -959,7 +969,8 @@ class RTDSSite(SiteBase):
             for p in ps:
                 succs[p].append(t)
         self._exec_info[job] = (host, succs, volumes)
-        self.trace("execute.commit", job=job, proc=proc, tasks=sorted(my_tasks, key=repr))
+        if self.trace_on:
+            self.trace("execute.commit", job=job, proc=proc, tasks=sorted(my_tasks, key=repr))
 
     def _h_unlock(self, msg: Message) -> None:
         job = msg.payload["job"]
@@ -969,9 +980,10 @@ class RTDSSite(SiteBase):
             self._validate_ack.pop(job, None)
             self._cancel_lease()
             self.lock.release(initiator, job)
-            self.trace("lock.released", job=job, by=initiator)
+            if self.trace_on:
+                self.trace("lock.released", job=job, by=initiator)
             self._drain_deferred()
-        else:
+        elif self.trace_on:
             # Stale unlock (queue-mode race); harmless.
             self.trace("lock.stale_unlock", job=job, by=initiator)
 
@@ -1034,7 +1046,8 @@ class RTDSSite(SiteBase):
         hosts: Optional[List[SiteId]] = None,
         acs_size: Optional[int] = None,
     ) -> None:
-        self.trace("job.decision", job=ctx.job, outcome=outcome.value)
+        if self.trace_on:
+            self.trace("job.decision", job=ctx.job, outcome=outcome.value)
         if self.metrics is not None:
             self.metrics.decide(ctx.job, outcome, self.now, hosts=hosts, acs_size=acs_size)
 
@@ -1079,11 +1092,12 @@ class RTDSSite(SiteBase):
         if inner is None:
             return
         unwrapped = Message(
-            mtype=inner["mtype"],
-            src=msg.src,
-            dst=self.sid,
-            origin=inner["origin"],
-            payload=inner["payload"],
-            size=msg.size,
+            inner["mtype"],
+            msg.src,
+            self.sid,
+            inner["origin"],
+            None,
+            inner["payload"],
+            msg.size,
         )
         self._dispatch(unwrapped)

@@ -17,6 +17,8 @@ workload, random-offload choices, and the tie-break rules are seed-free.
 
 from __future__ import annotations
 
+import gc
+from contextlib import contextmanager
 from dataclasses import dataclass, field, replace
 from typing import Any, Callable, Dict, List, Optional
 
@@ -223,8 +225,35 @@ def _make_sites(
     return build_network(topo, sim, factory, tracer)
 
 
+@contextmanager
+def _gc_paused():
+    """Pause the cyclic GC for the duration of the simulation loop.
+
+    The event loop allocates heavily (messages, heap entries, payload
+    dicts) but almost everything dies young by refcount; generational
+    collections buy nothing and cost ~5-10% of the run (measured on the
+    E9 macro bench). Cyclic garbage from torn-down networks is still
+    reclaimed — collection resumes on exit, and callers running many
+    experiments in-process hit it between runs. No-op if GC was already
+    off (an outer caller owns the policy).
+    """
+    if not gc.isenabled():
+        yield
+        return
+    gc.disable()
+    try:
+        yield
+    finally:
+        gc.enable()
+
+
 def run_experiment(config: ExperimentConfig) -> RunResult:
     """Build, run, summarize one experiment."""
+    with _gc_paused():
+        return _run_experiment(config)
+
+
+def _run_experiment(config: ExperimentConfig) -> RunResult:
     rng = np.random.default_rng(config.seed)
     topo = topology_factory(config.topology, rng=rng, **config.topology_kwargs)
 

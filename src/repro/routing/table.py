@@ -23,12 +23,12 @@ from dataclasses import dataclass
 from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
 from repro.errors import RoutingError
-from repro.types import EPS, SiteId, Time
+from repro.types import DATACLASS_SLOTS, EPS, SiteId, Time
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, **DATACLASS_SLOTS)
 class RouteEntry:
-    """One routing-table line."""
+    """One routing-table line (slotted: tables hold one per destination)."""
 
     dest: SiteId
     distance: Time
@@ -105,6 +105,22 @@ class RoutingTable:
     def as_distance_map(self) -> Dict[SiteId, Time]:
         return {d: e.distance for d, e in self._entries.items()}
 
+    def distances_to(
+        self, dests: Iterable[SiteId], exclude: Optional[SiteId] = None
+    ) -> Dict[SiteId, Time]:
+        """Known distances to the ``dests`` present in the table.
+
+        Bulk form of ``entry(d).distance`` for the ENROLL_ACK hot path —
+        one dict walk, no per-destination exception machinery. ``exclude``
+        (typically the owner) is skipped.
+        """
+        entries = self._entries
+        return {
+            d: entries[d].distance
+            for d in dests
+            if d != exclude and d in entries
+        }
+
     # -- updates -----------------------------------------------------------
 
     def consider(
@@ -123,14 +139,14 @@ class RoutingTable:
         """
         if dest == self.owner:
             return False
-        cur = self._entries.get(dest)
+        entries = self._entries
+        cur = entries.get(dest)
         if cur is None:
-            self._entries[dest] = RouteEntry(dest, distance, next_hop, hops, phase)
+            entries[dest] = RouteEntry(dest, distance, next_hop, hops, phase)
             return True
-        if distance < cur.distance - EPS or (
-            abs(distance - cur.distance) <= EPS and next_hop < cur.next_hop
-        ):
-            self._entries[dest] = RouteEntry(
+        cd = cur.distance
+        if distance < cd - EPS or (abs(distance - cd) <= EPS and next_hop < cur.next_hop):
+            entries[dest] = RouteEntry(
                 dest, distance, next_hop, hops, cur.discovered_phase
             )
             return True

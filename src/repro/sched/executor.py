@@ -109,8 +109,17 @@ class PlanExecutor:
         self.plan = plan
         self.on_complete: List[CompletionCallback] = []
         self._records: Dict[Key, ExecutionRecord] = {}
+        #: the not-yet-done subset of ``_records`` — the only records the
+        #: wake-up scan looks at, so a long run's pile of finished records
+        #: costs nothing per wake
+        self._unfinished: Dict[Key, ExecutionRecord] = {}
+        #: key -> cached ``repr(key)`` sort tiebreak (stable per record)
+        self._tiebreak: Dict[Key, str] = {}
         #: key -> outstanding prerequisite tokens (first chunk only)
         self._gates: Dict[Key, Set[Token]] = {}
+        #: token -> keys whose gate still awaits it (reverse index so
+        #: delivery doesn't scan every gate on the site)
+        self._token_waiters: Dict[Token, Set[Key]] = {}
         #: tokens delivered before their gate was registered
         self._early_tokens: Set[Token] = set()
         self._running: Optional[Key] = None
@@ -139,19 +148,27 @@ class PlanExecutor:
                 raise SchedulingError(
                     f"site {self.plan.site}: duplicate execution record {key}"
                 )
-            self._records[key] = ExecutionRecord(chunks)
+            rec = ExecutionRecord(chunks)
+            self._records[key] = rec
+            self._unfinished[key] = rec
+            self._tiebreak[key] = repr(key)
             pending = set(gates.get(key, ())) if gates else set()
             pending -= self._early_tokens
             self._gates[key] = pending
+            for token in pending:
+                self._token_waiters.setdefault(token, set()).add(key)
         self._wake()
 
     def deliver_token(self, token: Token) -> None:
         """Deliver a prerequisite token (e.g. a remote result arrived)."""
         hit = False
-        for pending in self._gates.values():
-            if token in pending:
-                pending.discard(token)
-                hit = True
+        waiters = self._token_waiters.pop(token, None)
+        if waiters:
+            for key in waiters:
+                pending = self._gates.get(key)
+                if pending is not None and token in pending:
+                    pending.discard(token)
+                    hit = True
         if not hit:
             # Remember for gates registered later (message raced the commit).
             self._early_tokens.add(token)
@@ -177,10 +194,10 @@ class PlanExecutor:
 
     def _candidates(self) -> List[Tuple[Time, str, Key]]:
         """(next chunk start, tiebreak, key) of unfinished tasks, slot order."""
+        tiebreak = self._tiebreak
         out = [
-            (rec.next_chunk.start, repr(k), k)
-            for k, rec in self._records.items()
-            if not rec.done
+            (rec.chunks[len(rec.actual)].start, tiebreak[k], k)
+            for k, rec in self._unfinished.items()
         ]
         out.sort()
         return out
@@ -195,10 +212,10 @@ class PlanExecutor:
     def _wake(self) -> None:
         if self._running is not None:
             return
+        if not self._unfinished:
+            return
         now = self.sim.now
         cands = self._candidates()
-        if not cands:
-            return
         # Prefer slot order; fall back to earliest ready whose start passed.
         runnable: Optional[Key] = None
         head_start, _, head = cands[0]
@@ -217,8 +234,7 @@ class PlanExecutor:
         future_starts = [start for start, _, _ in cands if start > now + EPS]
         if future_starts:
             self._timer_version += 1
-            version = self._timer_version
-            self.sim.schedule_at(min(future_starts), lambda: self._on_timer(version))
+            self.sim.schedule_call_at(min(future_starts), self._on_timer, self._timer_version)
 
     def _on_timer(self, version: int) -> None:
         if version == self._timer_version and self._running is None:
@@ -229,13 +245,18 @@ class PlanExecutor:
         chunk = rec.next_chunk
         start = self.sim.now
         self._running = key
-        self.sim.schedule(chunk.duration, lambda: self._finish(key, start))
+        # closure-free: the (key, started_at) pair rides as the callback arg
+        self.sim.schedule_call(chunk.duration, self._finish_call, (key, start))
+
+    def _finish_call(self, key_start: Tuple[Key, Time]) -> None:
+        self._finish(key_start[0], key_start[1])
 
     def _finish(self, key: Key, started_at: Time) -> None:
         rec = self._records[key]
         rec.actual.append((started_at, self.sim.now))
         self._running = None
         if rec.done:
+            del self._unfinished[key]
             job, task = key
             # Completion of a local task satisfies local "done" gates.
             self.deliver_token(("done", job, task))
@@ -253,12 +274,19 @@ class PlanExecutor:
             if rec.done and rec.actual_end is not None and rec.actual_end <= time
         ]
         pruned_jobs = {k[0] for k in old}
+        old_set = set(old)
         for k in old:
             del self._records[k]
             self._gates.pop(k, None)
+            self._tiebreak.pop(k, None)
         # Tokens belonging to pruned jobs can no longer gate anything:
         # all of a job's gates are registered atomically at commit time.
         self._early_tokens = {
             t for t in self._early_tokens if t[1] not in pruned_jobs
         }
+        for token in list(self._token_waiters):
+            keys = self._token_waiters[token]
+            keys -= old_set
+            if not keys:
+                del self._token_waiters[token]
         return len(old)

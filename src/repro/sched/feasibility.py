@@ -21,15 +21,13 @@ stay valid until execution (see DESIGN.md "Lock semantics").
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.graphs.dag import Dag
 from repro.sched.intervals import BusyTimeline, Reservation
-from repro.types import EPS, JobId, TaskId, Time
+from repro.types import JobId, TaskId, Time
 
 
-@dataclass(frozen=True)
 class WindowTask:
     """A task with an absolute execution window (validation input).
 
@@ -37,21 +35,35 @@ class WindowTask:
     Trial-Mapping; ``duration`` is the raw complexity c(t) (execution on an
     identical machine takes c, the surplus scaling was only a mapping-time
     estimate).
+
+    Hand-rolled ``__slots__`` class: validation constructs one per task per
+    tested logical processor, which puts construction cost on the protocol
+    hot path. Treat instances as immutable.
     """
 
-    job: JobId
-    task: TaskId
-    duration: Time
-    release: Time
-    deadline: Time
+    __slots__ = ("job", "task", "duration", "release", "deadline")
 
-    def __post_init__(self) -> None:
-        if self.duration <= 0:
-            raise ValueError(f"task {self.task!r}: duration must be > 0")
+    def __init__(
+        self, job: JobId, task: TaskId, duration: Time, release: Time, deadline: Time
+    ) -> None:
+        if duration <= 0:
+            raise ValueError(f"task {task!r}: duration must be > 0")
+        self.job = job
+        self.task = task
+        self.duration = duration
+        self.release = release
+        self.deadline = deadline
 
     @property
     def laxity(self) -> Time:
         return (self.deadline - self.release) - self.duration
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"WindowTask(job={self.job!r}, task={self.task!r}, "
+            f"duration={self.duration!r}, release={self.release!r}, "
+            f"deadline={self.deadline!r})"
+        )
 
 
 def try_schedule_dag_locally(

@@ -20,10 +20,10 @@ from dataclasses import dataclass, field
 from typing import Iterator, List, Optional, Tuple
 
 from repro.errors import SchedulingError
-from repro.types import EPS, JobId, TaskId, Time
+from repro.types import DATACLASS_SLOTS, EPS, JobId, TaskId, Time
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, **DATACLASS_SLOTS)
 class Reservation:
     """One committed busy interval.
 
@@ -78,11 +78,12 @@ class BusyTimeline:
         """True iff [start, end) overlaps no reservation."""
         if end <= start + EPS:
             raise SchedulingError(f"empty window [{start}, {end})")
+        items = self._items
         i = bisect_right(self._starts, start + EPS)
         # predecessor may cover start; successor may begin before end
-        if i > 0 and self._items[i - 1].end > start + EPS:
+        if i > 0 and items[i - 1].end > start + EPS:
             return False
-        if i < len(self._items) and self._items[i].start < end - EPS:
+        if i < len(items) and items[i].start < end - EPS:
             return False
         return True
 
@@ -96,17 +97,19 @@ class BusyTimeline:
             raise SchedulingError(f"duration must be > 0, got {duration}")
         if release + duration > deadline + EPS:
             return None
+        items = self._items
+        n = len(items)
         s = release
         i = bisect_right(self._starts, s + EPS)
-        if i > 0 and self._items[i - 1].end > s + EPS:
+        if i > 0 and items[i - 1].end > s + EPS:
             # release falls inside a busy interval: earliest candidate is its end
-            s = self._items[i - 1].end
+            s = items[i - 1].end
         while True:
             if s + duration > deadline + EPS:
                 return None
-            if i < len(self._items) and self._items[i].start < s + duration - EPS:
+            if i < n and items[i].start < s + duration - EPS:
                 # gap before next reservation too small; jump past it
-                s = self._items[i].end
+                s = items[i].end
                 i += 1
                 continue
             return s
@@ -116,15 +119,17 @@ class BusyTimeline:
         if end <= start + EPS:
             return []
         out: List[Tuple[Time, Time]] = []
+        items = self._items
+        n = len(items)
         cur = start
         i = bisect_right(self._starts, start + EPS)
-        if i > 0 and self._items[i - 1].end > start + EPS:
-            cur = min(self._items[i - 1].end, end)
+        if i > 0 and items[i - 1].end > start + EPS:
+            cur = min(items[i - 1].end, end)
         while cur < end - EPS:
-            if i >= len(self._items) or self._items[i].start >= end - EPS:
+            if i >= n or items[i].start >= end - EPS:
                 out.append((cur, end))
                 break
-            nxt = self._items[i]
+            nxt = items[i]
             if nxt.start > cur + EPS:
                 out.append((cur, min(nxt.start, end)))
             cur = max(cur, min(nxt.end, end))
@@ -155,18 +160,48 @@ class BusyTimeline:
     # -- mutation ------------------------------------------------------------
 
     def reserve(self, res: Reservation) -> None:
-        """Insert ``res``; raises :class:`SchedulingError` on overlap."""
-        if not self.is_free(res.start, res.end):
-            clash = self.at(res.start) or self.at(res.end - 2 * EPS)
+        """Insert ``res``; raises :class:`SchedulingError` on overlap.
+
+        One bisect serves both the overlap check and the insertion point:
+        when the window is free there is no existing start inside
+        ``(start, start+EPS]`` (it would overlap), so the EPS-shifted
+        index equals the exact one.
+        """
+        start = res.start
+        end = res.end
+        if end <= start + EPS:
+            raise SchedulingError(f"empty window [{start}, {end})")
+        starts = self._starts
+        items = self._items
+        i = bisect_right(starts, start + EPS)
+        if (i > 0 and items[i - 1].end > start + EPS) or (
+            i < len(items) and items[i].start < end - EPS
+        ):
+            clash = self.at(start) or self.at(end - 2 * EPS)
             raise SchedulingError(
-                f"reservation {res.job}/{res.task!r} [{res.start}, {res.end}) "
+                f"reservation {res.job}/{res.task!r} [{start}, {end}) "
                 f"overlaps {clash.job}/{clash.task!r} [{clash.start}, {clash.end})"
                 if clash
-                else f"reservation [{res.start}, {res.end}) overlaps existing work"
+                else f"reservation [{start}, {end}) overlaps existing work"
             )
-        i = bisect_right(self._starts, res.start)
-        self._starts.insert(i, res.start)
-        self._items.insert(i, res)
+        starts.insert(i, start)
+        items.insert(i, res)
+
+    def remove_exact(self, res: Reservation) -> None:
+        """Remove exactly ``res`` (identity); raises if it is not present.
+
+        Rollback primitive for atomic batch commits: starts are unique
+        (intervals are non-overlapping with positive length), so the
+        bisect lands on the only possible slot.
+        """
+        i = bisect_left(self._starts, res.start)
+        if i < len(self._items) and self._items[i] is res:
+            del self._items[i]
+            del self._starts[i]
+            return
+        raise SchedulingError(
+            f"reservation {res.job}/{res.task!r} [{res.start}, {res.end}) not present"
+        )
 
     def release_key(self, job: JobId, task: Optional[TaskId] = None) -> int:
         """Remove reservations of ``job`` (optionally one task). Returns count."""

@@ -61,12 +61,18 @@ class SchedulingPlan:
         Either all succeed or the plan is left untouched (the batch is
         pre-checked on a scratch copy, then applied).
         """
-        scratch = self.timeline.copy()
+        timeline = self.timeline
+        inserted: List[Reservation] = []
+        try:
+            for r in reservations:
+                timeline.reserve(r)
+                inserted.append(r)
+        except SchedulingError:
+            # Roll the partial batch back: the plan must look untouched.
+            for r in reversed(inserted):
+                timeline.remove_exact(r)
+            raise
         for r in reservations:
-            scratch.reserve(r)
-        # Pre-check passed; now apply for real.
-        for r in reservations:
-            self.timeline.reserve(r)
             self._jobs.setdefault(r.job, []).append(r)
 
     def cancel_job(self, job: JobId) -> int:

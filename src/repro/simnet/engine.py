@@ -2,14 +2,23 @@
 
 A minimal, fast, deterministic event loop:
 
-* events are ``(time, priority, seq, callback)`` tuples in a binary heap;
+* the heap holds plain ``(time, priority, seq, handle)`` tuples, so heap
+  ordering is decided entirely by C-level tuple comparison — no Python
+  ``__lt__`` ever runs on the hot path;
 * ``seq`` is a global monotonically increasing counter, so events with equal
   time and priority fire in scheduling order — together with seeded RNGs
-  this makes every simulation bit-for-bit reproducible;
+  this makes every simulation bit-for-bit reproducible (``seq`` is unique,
+  so a comparison never falls through to the handle);
 * callbacks are plain callables (no generator/coroutine machinery — profiling
   early prototypes showed the callback style is ~3x faster in CPython for
   our message-dominated workloads, and the protocol state machines read more
-  naturally as handler methods anyway).
+  naturally as handler methods anyway);
+* :meth:`Simulator.schedule_call` passes a single argument positionally to
+  the callback, so high-rate callers (message delivery) never allocate a
+  closure per event;
+* cancelled events are dropped lazily, but once they outnumber the live
+  ones the heap is compacted in place (:meth:`Simulator.cancel`), so
+  timer-churn workloads (ack/retransmission timers) cannot rot the heap.
 
 The engine knows nothing about networks or scheduling; it is reused by the
 routing layer tests directly.
@@ -19,6 +28,7 @@ from __future__ import annotations
 
 import heapq
 import itertools
+from time import perf_counter
 from typing import Callable, List, Optional, Tuple
 
 from repro.errors import SimulationError
@@ -33,21 +43,33 @@ PRIORITY_DELIVERY = 10
 #: End-of-run bookkeeping (metric flushes) fires after everything else.
 PRIORITY_LATE = 100
 
+#: Sentinel: "this event's callback takes no argument".
+_NO_ARG = object()
+
+#: Compaction floor: never compact tiny heaps (rebuild cost would dominate).
+_COMPACT_MIN_CANCELLED = 64
+
 
 class _Event:
-    """Heap entry. A dedicated class (vs tuple) lets us cancel in O(1)."""
+    """Cancellation handle riding in the heap entry's last slot.
 
-    __slots__ = ("time", "priority", "seq", "callback", "cancelled")
+    The heap entry itself is a plain tuple ``(time, priority, seq, handle)``
+    — ordering never touches this object. ``cancelled`` doubles as a
+    "consumed" flag: it is set when the event fires, which is what makes
+    :meth:`Simulator.cancel` naturally idempotent (double-cancel and
+    cancel-after-fire are both no-ops that cannot corrupt the live count).
+    """
 
-    def __init__(self, time: Time, priority: int, seq: int, callback: Callable[[], None]):
-        self.time = time
-        self.priority = priority
-        self.seq = seq
+    __slots__ = ("callback", "arg", "cancelled")
+
+    def __init__(self, callback: Callable, arg=_NO_ARG):
         self.callback = callback
+        self.arg = arg
         self.cancelled = False
 
-    def __lt__(self, other: "_Event") -> bool:
-        return (self.time, self.priority, self.seq) < (other.time, other.priority, other.seq)
+
+#: Heap entry type (time, priority, seq, handle).
+_Entry = Tuple[Time, int, int, _Event]
 
 
 class Simulator:
@@ -61,12 +83,19 @@ class Simulator:
     """
 
     def __init__(self) -> None:
-        self._heap: List[_Event] = []
+        self._heap: List[_Entry] = []
         self._seq = itertools.count()
         self._now: Time = 0.0
         self._running = False
         self._stopped = False
         self.events_processed = 0
+        #: cumulative real time spent inside :meth:`run` (events/sec =
+        #: ``events_processed / wall_seconds``; the E9 bench reads this)
+        self.wall_seconds = 0.0
+        #: not-yet-cancelled events still queued (O(1) ``pending()``)
+        self._live = 0
+        #: cancelled entries still physically in the heap
+        self._dead = 0
 
     # -- time --------------------------------------------------------------
 
@@ -94,14 +123,64 @@ class Simulator:
         """Schedule ``callback`` at absolute simulated time ``time``."""
         if time < self._now:
             raise SimulationError(f"cannot schedule in the past: {time} < now {self._now}")
-        ev = _Event(time, priority, next(self._seq), callback)
-        heapq.heappush(self._heap, ev)
+        # inline construction (no Python __init__ frame on the hot path)
+        ev = _Event.__new__(_Event)
+        ev.callback = callback
+        ev.arg = _NO_ARG
+        ev.cancelled = False
+        heapq.heappush(self._heap, (time, priority, next(self._seq), ev))
+        self._live += 1
         return ev
 
-    @staticmethod
-    def cancel(event: _Event) -> None:
-        """Cancel a pending event (no-op if it already fired)."""
+    def schedule_call(
+        self, delay: Time, callback: Callable, arg, priority: int = PRIORITY_NORMAL
+    ) -> _Event:
+        """Like :meth:`schedule`, but fires ``callback(arg)``.
+
+        The closure-free fast path: the delivery pipeline schedules
+        ``receive(msg)`` without building a lambda per message.
+        """
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        return self.schedule_call_at(self._now + delay, callback, arg, priority)
+
+    def schedule_call_at(
+        self, time: Time, callback: Callable, arg, priority: int = PRIORITY_NORMAL
+    ) -> _Event:
+        """Like :meth:`schedule_at`, but fires ``callback(arg)``."""
+        if time < self._now:
+            raise SimulationError(f"cannot schedule in the past: {time} < now {self._now}")
+        ev = _Event.__new__(_Event)
+        ev.callback = callback
+        ev.arg = arg
+        ev.cancelled = False
+        heapq.heappush(self._heap, (time, priority, next(self._seq), ev))
+        self._live += 1
+        return ev
+
+    def cancel(self, event: _Event) -> None:
+        """Cancel a pending event.
+
+        Idempotent: cancelling twice, or cancelling an event that already
+        fired, is a no-op (the live/dead counters stay exact). Once the
+        cancelled entries outnumber the live ones the heap is compacted in
+        place — equal-time ordering is untouched because the full sort key
+        ``(time, priority, seq)`` is total.
+        """
+        if event.cancelled:
+            return
         event.cancelled = True
+        self._live -= 1
+        self._dead += 1
+        if self._dead >= _COMPACT_MIN_CANCELLED and self._dead * 2 > len(self._heap):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop cancelled entries and re-heapify, preserving pop order."""
+        heap = self._heap
+        heap[:] = [entry for entry in heap if not entry[3].cancelled]
+        heapq.heapify(heap)
+        self._dead = 0
 
     # -- running -----------------------------------------------------------
 
@@ -117,32 +196,47 @@ class Simulator:
         self._running = True
         self._stopped = False
         processed = 0
+        heap = self._heap
+        pop = heapq.heappop
+        no_arg = _NO_ARG
+        # +inf sentinels keep the per-event None-checks out of the loop
+        limit = float("inf") if until is None else until
+        budget = float("inf") if max_events is None else max_events
+        t0 = perf_counter()
         try:
-            while self._heap:
+            while heap:
                 if self._stopped:
                     break
-                ev = self._heap[0]
-                if until is not None and ev.time > until:
+                time = heap[0][0]
+                if time > limit:
                     self._now = until
                     break
-                heapq.heappop(self._heap)
+                ev = pop(heap)[3]
                 if ev.cancelled:
+                    self._dead -= 1
                     continue
-                if ev.time < self._now:
+                if time < self._now:
                     raise SimulationError(
-                        f"event time {ev.time} precedes clock {self._now} (heap corruption)"
+                        f"event time {time} precedes clock {self._now} (heap corruption)"
                     )
-                self._now = ev.time
-                ev.callback()
+                self._live -= 1
+                ev.cancelled = True  # consumed: a late cancel() must no-op
+                self._now = time
+                arg = ev.arg
+                if arg is no_arg:
+                    ev.callback()
+                else:
+                    ev.callback(arg)
                 processed += 1
-                self.events_processed += 1
-                if max_events is not None and processed >= max_events:
+                if processed >= budget:
                     break
             else:
                 if until is not None:
                     self._now = max(self._now, until)
         finally:
             self._running = False
+            self.events_processed += processed
+            self.wall_seconds += perf_counter() - t0
         return self._now
 
     def stop(self) -> None:
@@ -150,11 +244,13 @@ class Simulator:
         self._stopped = True
 
     def pending(self) -> int:
-        """Number of not-yet-cancelled events still queued."""
-        return sum(1 for ev in self._heap if not ev.cancelled)
+        """Number of not-yet-cancelled events still queued. O(1)."""
+        return self._live
 
     def peek_next_time(self) -> Optional[Time]:
         """Time of the next live event, or None if the heap is empty."""
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
-        return self._heap[0].time if self._heap else None
+        heap = self._heap
+        while heap and heap[0][3].cancelled:
+            heapq.heappop(heap)
+            self._dead -= 1
+        return heap[0][0] if heap else None

@@ -79,6 +79,9 @@ class Link:
         ``extra`` is additional one-off delay (fault-injection jitter); the
         clamp below keeps the link order-preserving even when jitter would
         reorder deliveries.
+
+        Note: ``Network.transmit`` inlines this arithmetic (identical float
+        operation order) — keep the two in sync.
         """
         t = now + self.transfer_time(size) + extra
         prev = self._last_delivery.get(to, 0.0)

@@ -5,12 +5,15 @@ metadata. Every physical transmission goes between *adjacent* sites; the
 protocol layer forwards multi-hop messages itself using its routing tables
 (``final_dst``/``origin`` support that). ``hops`` counts physical traversals
 for the communication-overhead metrics (experiment E2).
+
+``Message`` is a hand-rolled ``__slots__`` class rather than a dataclass:
+one instance is allocated per physical transmission, so construction cost
+and per-instance memory are on the simulator's hottest path.
 """
 
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
 from typing import Any, Dict, Optional
 
 from repro.types import SiteId
@@ -18,7 +21,6 @@ from repro.types import SiteId
 _msg_counter = itertools.count()
 
 
-@dataclass
 class Message:
     """One protocol message.
 
@@ -43,31 +45,46 @@ class Message:
     hops:
         Physical hops travelled so far (incremented by the network).
     uid:
-        Globally unique id (diagnostics / tracing).
+        Globally unique id (diagnostics / tracing); auto-assigned when not
+        given.
     """
 
-    mtype: str
-    src: SiteId
-    dst: SiteId
-    origin: SiteId
-    final_dst: Optional[SiteId] = None
-    payload: Dict[str, Any] = field(default_factory=dict)
-    size: float = 1.0
-    hops: int = 0
-    uid: int = field(default_factory=lambda: next(_msg_counter))
+    __slots__ = ("mtype", "src", "dst", "origin", "final_dst", "payload", "size", "hops", "uid")
+
+    def __init__(
+        self,
+        mtype: str,
+        src: SiteId,
+        dst: SiteId,
+        origin: SiteId,
+        final_dst: Optional[SiteId] = None,
+        payload: Optional[Dict[str, Any]] = None,
+        size: float = 1.0,
+        hops: int = 0,
+        uid: Optional[int] = None,
+    ) -> None:
+        self.mtype = mtype
+        self.src = src
+        self.dst = dst
+        self.origin = origin
+        self.final_dst = final_dst
+        self.payload = {} if payload is None else payload
+        self.size = size
+        self.hops = hops
+        self.uid = next(_msg_counter) if uid is None else uid
 
     def forwarded(self, new_src: SiteId, new_dst: SiteId) -> "Message":
         """A copy of this message for the next physical hop."""
         return Message(
-            mtype=self.mtype,
-            src=new_src,
-            dst=new_dst,
-            origin=self.origin,
-            final_dst=self.final_dst,
-            payload=self.payload,
-            size=self.size,
-            hops=self.hops,  # network increments per transmission
-            uid=self.uid,
+            self.mtype,
+            new_src,
+            new_dst,
+            self.origin,
+            self.final_dst,
+            self.payload,
+            self.size,
+            self.hops,  # network increments per transmission
+            self.uid,
         )
 
     @property

@@ -4,14 +4,22 @@ The network only delivers between *adjacent* sites — exactly the power the
 distributed algorithm has. Multi-hop communication is implemented by the
 protocol layers (sites forward using their routing tables), so hop counts
 and message totals in the benchmarks reflect real traffic.
+
+Hot-path notes (DESIGN.md "Performance model & hot path"): delivery is
+closure-free — :meth:`Network.transmit` schedules the receiver's cached
+bound ``receive`` via ``Simulator.schedule_call_at`` instead of allocating
+a lambda per message; ``trace_enabled`` mirrors the tracer's flag so call
+sites skip kwargs construction entirely when tracing is off; and sorted
+adjacency is cached per site, invalidated on topology mutation.
 """
 
 from __future__ import annotations
 
+from heapq import heappush
 from typing import TYPE_CHECKING, Callable, Dict, Iterable, List, Optional, Tuple
 
 from repro.errors import SimulationError, TopologyError
-from repro.simnet.engine import PRIORITY_DELIVERY, Simulator
+from repro.simnet.engine import PRIORITY_DELIVERY, Simulator, _Event
 from repro.simnet.link import Link
 from repro.simnet.message import Message
 from repro.simnet.trace import MessageStats, Tracer
@@ -35,6 +43,12 @@ class Network:
     def __init__(self, sim: Simulator, tracer: Optional[Tracer] = None) -> None:
         self.sim = sim
         self.tracer = tracer if tracer is not None else Tracer(enabled=False)
+        #: fast-path mirror of ``tracer.enabled``: checked before building
+        #: the kwargs of a trace emit. Kept in sync automatically — the
+        #: tracer notifies us on every ``enabled`` assignment (and
+        #: :meth:`set_tracing` routes through the same path).
+        self.trace_enabled = self.tracer.enabled
+        self.tracer.on_toggle.append(self._sync_tracing)
         self.stats = MessageStats()
         #: optional transmit interceptor (fault injection): an object with
         #: ``on_transmit(msg, link) -> extra_delay | None`` — ``None`` drops
@@ -45,6 +59,10 @@ class Network:
         self._sites: Dict[SiteId, "SiteBase"] = {}
         self._links: Dict[Tuple[SiteId, SiteId], Link] = {}
         self._adj: Dict[SiteId, Dict[SiteId, Link]] = {}
+        #: sid -> bound ``site.receive`` (the closure-free delivery target)
+        self._receivers: Dict[SiteId, Callable[[Message], None]] = {}
+        #: sid -> cached sorted adjacency; invalidated by :meth:`add_link`
+        self._neighbors_cache: Dict[SiteId, Tuple[SiteId, ...]] = {}
 
     # -- construction --------------------------------------------------
 
@@ -53,6 +71,7 @@ class Network:
             raise TopologyError(f"duplicate site id {site.sid}")
         self._sites[site.sid] = site
         self._adj.setdefault(site.sid, {})
+        self._receivers[site.sid] = site.receive
 
     def add_link(self, u: SiteId, v: SiteId, delay: Time, throughput: Optional[float] = None) -> Link:
         if u not in self._sites or v not in self._sites:
@@ -63,7 +82,26 @@ class Network:
         self._links[link.key] = link
         self._adj[u][v] = link
         self._adj[v][u] = link
+        # topology mutation invalidates the cached sorted adjacency
+        self._neighbors_cache.pop(u, None)
+        self._neighbors_cache.pop(v, None)
         return link
+
+    # -- tracing ---------------------------------------------------------
+
+    def set_tracing(self, enabled: bool) -> None:
+        """Enable/disable tracing consistently.
+
+        Equivalent to assigning ``tracer.enabled`` — the tracer's toggle
+        notification refreshes every fast-path mirror (this network's
+        ``trace_enabled`` and each site's ``trace_on``).
+        """
+        self.tracer.enabled = enabled
+
+    def _sync_tracing(self, enabled: bool) -> None:
+        self.trace_enabled = enabled
+        for site in self._sites.values():
+            site.trace_on = enabled
 
     # -- introspection ---------------------------------------------------
 
@@ -80,9 +118,13 @@ class Network:
     def site_ids(self) -> List[SiteId]:
         return sorted(self._sites)
 
-    def neighbors(self, sid: SiteId) -> List[SiteId]:
-        """Adjacent site ids, sorted for determinism."""
-        return sorted(self._adj[sid])
+    def neighbors(self, sid: SiteId) -> Tuple[SiteId, ...]:
+        """Adjacent site ids, sorted for determinism (cached tuple)."""
+        nbrs = self._neighbors_cache.get(sid)
+        if nbrs is None:
+            nbrs = tuple(sorted(self._adj[sid]))
+            self._neighbors_cache[sid] = nbrs
+        return nbrs
 
     def link(self, u: SiteId, v: SiteId) -> Link:
         try:
@@ -109,20 +151,53 @@ class Network:
         :meth:`SiteBase.receive` runs at arrival (plus any management
         processing overhead the site models).
         """
-        if msg.dst == msg.src:
+        src = msg.src
+        dst = msg.dst
+        if dst == src:
             raise SimulationError(f"message to self: {msg!r}")
-        link = self.link(msg.src, msg.dst)
+        try:
+            link = self._adj[src][dst]
+        except KeyError:
+            raise TopologyError(f"no link between {src} and {dst}") from None
         msg.hops += 1
-        self.stats.record(msg.mtype, msg.size)
-        self.tracer.emit(self.sim.now, "net.send", msg.src, mtype=msg.mtype, dst=msg.dst, uid=msg.uid)
+        size = msg.size
+        mtype = msg.mtype
+        # inlined MessageStats.record (one call per physical transmission)
+        stats = self.stats
+        stats.count[mtype] += 1
+        stats.volume[mtype] += size
+        stats.total += 1
+        stats.total_volume += size
+        sim = self.sim
+        if self.trace_enabled:
+            self.tracer.emit(sim.now, "net.send", src, mtype=mtype, dst=dst, uid=msg.uid)
         extra = 0.0
         if self.interceptor is not None:
             extra = self.interceptor.on_transmit(msg, link)
             if extra is None:
                 return  # lost in flight (the interceptor did the accounting)
-        arrival = link.delivery_time(self.sim.now, msg.size, msg.dst, extra)
-        receiver = self._sites[msg.dst]
-        self.sim.schedule_at(arrival, lambda m=msg, r=receiver: r.receive(m), PRIORITY_DELIVERY)
+        # inlined Link.delivery_time — identical arithmetic and FIFO clamp
+        # (kept in sync with link.py; the method remains the reference)
+        tp = link.throughput
+        arrival = sim._now + (link.delay if tp is None else link.delay + size / tp) + extra
+        last = link._last_delivery
+        prev = last.get(dst, 0.0)
+        if arrival < prev:
+            arrival = prev
+        last[dst] = arrival
+        # inlined Simulator.schedule_call_at (friend access): one physical
+        # transmission = one delivery event, so the call overhead is pure
+        # per-message tax. Semantics identical, including the past-guard.
+        if arrival < sim._now:
+            raise SimulationError(
+                f"cannot schedule in the past: {arrival} < now {sim._now}"
+            )
+        ev = _Event.__new__(_Event)
+        ev.callback = self._receivers[dst]
+        ev.arg = msg
+        ev.cancelled = False
+        heappush(sim._heap, (arrival, PRIORITY_DELIVERY, next(sim._seq), ev))
+        sim._live += 1
 
     def send_adjacent(
         self,
@@ -136,13 +211,13 @@ class Network:
     ) -> Message:
         """Convenience constructor + transmit for a single-hop message."""
         msg = Message(
-            mtype=mtype,
-            src=src,
-            dst=dst,
-            origin=src if origin is None else origin,
-            final_dst=final_dst,
-            payload=payload if payload is not None else {},
-            size=size,
+            mtype,
+            src,
+            dst,
+            src if origin is None else origin,
+            final_dst,
+            payload if payload is not None else {},
+            size,
         )
         self.transmit(msg)
         return msg

@@ -49,6 +49,10 @@ class SiteBase:
         self.network = network
         self.sim = network.sim
         self.tracer = network.tracer
+        #: fast-path mirror of the tracer's enabled flag: hot protocol code
+        #: guards ``self.trace(...)`` calls on it so a disabled tracer costs
+        #: not even the kwargs dict. Kept in sync by Network.set_tracing.
+        self.trace_on = network.trace_enabled
         self.mgmt_overhead = mgmt_overhead
         self._handlers: Dict[str, Handler] = {}
         #: destination -> adjacent next hop; filled by the routing layer.
@@ -69,11 +73,14 @@ class SiteBase:
 
     def receive(self, msg: Message) -> None:
         """Entry point called by the network at message arrival."""
-        if msg.final_dst is not None and msg.final_dst != self.sid:
+        final_dst = msg.final_dst
+        if final_dst is not None and final_dst != self.sid:
             self._forward(msg)
             return
         if self.mgmt_overhead > 0:
-            self.sim.schedule(self.mgmt_overhead, lambda: self._dispatch(msg), PRIORITY_NORMAL)
+            # closure-free: the overhead timer carries the message as the
+            # callback argument instead of capturing it in a lambda
+            self.sim.schedule_call(self.mgmt_overhead, self._dispatch, msg, PRIORITY_NORMAL)
         else:
             self._dispatch(msg)
 
@@ -106,13 +113,13 @@ class SiteBase:
         if hop is None:
             raise RoutingError(f"site {self.sid}: no route to {dst}")
         msg = Message(
-            mtype=mtype,
-            src=self.sid,
-            dst=hop,
-            origin=self.sid,
-            final_dst=dst,
-            payload=payload if payload is not None else {},
-            size=size,
+            mtype,
+            self.sid,
+            hop,
+            self.sid,
+            dst,
+            payload if payload is not None else {},
+            size,
         )
         self.network.transmit(msg)
         return msg
@@ -132,11 +139,13 @@ class SiteBase:
     def now(self) -> Time:
         return self.sim.now
 
-    def neighbors(self) -> list:
+    def neighbors(self) -> tuple:
+        """Adjacent site ids, sorted (the network's cached tuple)."""
         return self.network.neighbors(self.sid)
 
     def trace(self, category: str, **detail) -> None:
-        self.tracer.emit(self.sim.now, category, self.sid, **detail)
+        if self.trace_on:
+            self.tracer.emit(self.sim.now, category, self.sid, **detail)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<{type(self).__name__} {self.sid}>"

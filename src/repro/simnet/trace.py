@@ -16,16 +16,18 @@ measure raw simulator speed can disable it wholesale.
 
 from __future__ import annotations
 
+import hashlib
+import json
 from collections import Counter
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, List, Optional
 
-from repro.types import SiteId, Time
+from repro.types import DATACLASS_SLOTS, SiteId, Time
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, **DATACLASS_SLOTS)
 class TraceEvent:
-    """One trace record."""
+    """One trace record (slotted: traces hold one per protocol step)."""
 
     time: Time
     category: str
@@ -39,17 +41,36 @@ class TraceEvent:
 
 
 class Tracer:
-    """Append-only structured event log with category filtering."""
+    """Append-only structured event log with category filtering.
+
+    ``enabled`` is a property: assigning it notifies registered toggle
+    listeners, so the hot-path mirrors (``Network.trace_enabled``,
+    ``SiteBase.trace_on``) can never silently go stale.
+    """
 
     def __init__(self, enabled: bool = True, categories: Optional[Iterable[str]] = None):
-        self.enabled = enabled
+        self._enabled = bool(enabled)
+        #: callbacks fired with the new value whenever ``enabled`` flips
+        #: (the network registers one to refresh its fast-path mirrors)
+        self.on_toggle: List[Any] = []
         #: if not None, only these categories are recorded
         self.categories = set(categories) if categories is not None else None
         self.events: List[TraceEvent] = []
 
+    @property
+    def enabled(self) -> bool:
+        return self._enabled
+
+    @enabled.setter
+    def enabled(self, value: bool) -> None:
+        value = bool(value)
+        self._enabled = value
+        for listener in self.on_toggle:
+            listener(value)
+
     def emit(self, time: Time, category: str, site: Optional[SiteId] = None, **detail: Any) -> None:
         """Record one event (no-op when disabled or filtered out)."""
-        if not self.enabled:
+        if not self._enabled:
             return
         if self.categories is not None and category not in self.categories:
             return
@@ -68,6 +89,59 @@ class Tracer:
 
     def __len__(self) -> int:
         return len(self.events)
+
+
+def _jsonable(value: Any) -> Any:
+    """Recursively convert a trace detail value to plain JSON types.
+
+    Tuples become lists, sets become sorted lists, dict keys become
+    strings — a *canonical* form, so two traces serialize identically iff
+    they are identical up to these collection encodings. Unknown objects
+    fall back to ``repr`` (deterministic for everything the protocol puts
+    in a trace).
+    """
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, (set, frozenset)):
+        return sorted((_jsonable(v) for v in value), key=repr)
+    return repr(value)
+
+
+def canonical_trace(events: Iterable[TraceEvent]) -> List[List[Any]]:
+    """A trace as a canonical JSON-able list of ``[time, category, site,
+    detail]`` rows.
+
+    This is the bit-for-bit identity format: the golden-trace suite and
+    the hot-path benchmarks serialize with it, so "same trace" means the
+    serialized forms compare equal element-by-element. Message ``uid``
+    fields are renumbered densely in first-appearance order: uids come
+    from a process-global counter (they depend on how many messages
+    *earlier runs in the same process* sent), so the raw values are not
+    seed-deterministic — but their first-appearance order is, and any
+    reordering of sends still changes the canonical form.
+    """
+    uid_map: Dict[Any, int] = {}
+    rows: List[List[Any]] = []
+    for e in events:
+        detail = _jsonable(e.detail)
+        if isinstance(detail, dict) and "uid" in detail:
+            uid = detail["uid"]
+            canon = uid_map.get(uid)
+            if canon is None:
+                canon = uid_map[uid] = len(uid_map)
+            detail["uid"] = canon
+        rows.append([float(e.time), e.category, e.site, detail])
+    return rows
+
+
+def trace_digest(events: Iterable[TraceEvent]) -> str:
+    """SHA-256 over the canonical JSON serialization of ``events``."""
+    blob = json.dumps(canonical_trace(events), sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
 
 class MessageStats:

@@ -119,10 +119,16 @@ def handle_sphere_message(site: SiteBase, msg) -> Optional[Dict[str, Any]]:
     this site is itself a target, returns the inner ``(mtype, payload,
     origin)`` dict for local dispatch; otherwise returns ``None``.
     """
-    targets: List[SiteId] = list(msg.payload["targets"])
-    inner_mtype = msg.payload["inner_mtype"]
-    inner_payload = msg.payload["inner_payload"]
-    origin = msg.payload["origin"]
+    payload = msg.payload
+    targets: List[SiteId] = list(payload["targets"])
+    inner_mtype = payload["inner_mtype"]
+    inner_payload = payload["inner_payload"]
+    origin = payload["origin"]
+
+    if len(targets) == 1 and targets[0] == site.sid:
+        # Leaf delivery (the common case at the broadcast tree's fringe):
+        # nothing to relay, skip the split machinery entirely.
+        return {"mtype": inner_mtype, "payload": inner_payload, "origin": origin}
 
     deliver_here = site.sid in targets
     rest = [t for t in targets if t != site.sid]

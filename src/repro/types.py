@@ -6,7 +6,15 @@ network and scheduling packages.
 
 from __future__ import annotations
 
+import sys
 from typing import Hashable
+
+#: ``@dataclass(**DATACLASS_SLOTS)`` adds ``slots=True`` where the runtime
+#: supports it (3.10+). The hot-path record types (trace events, route
+#: entries, reservations) are slotted for memory and attribute-access
+#: speed; on 3.9 they silently fall back to dict-backed instances with
+#: identical semantics.
+DATACLASS_SLOTS = {"slots": True} if sys.version_info >= (3, 10) else {}
 
 #: Identifier of a task inside one job DAG. Any hashable works; the worked
 #: example from the paper uses the integers 1..5.

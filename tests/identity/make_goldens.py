@@ -1,0 +1,39 @@
+"""Regenerate the bit-for-bit golden files.
+
+::
+
+    PYTHONPATH=src python -m tests.identity.make_goldens
+
+Only legitimate when the simulation semantics *intentionally* change (new
+protocol feature, new metric). A pure performance PR must never need to
+run this: its whole contract is that the goldens keep passing.
+"""
+
+from __future__ import annotations
+
+import gzip
+import json
+import pathlib
+
+from tests.identity.scenarios import SCENARIOS, run_scenario, snapshot
+
+GOLDEN_DIR = pathlib.Path(__file__).parent / "goldens"
+
+
+def main() -> None:
+    GOLDEN_DIR.mkdir(exist_ok=True)
+    for name in SCENARIOS:
+        snap = snapshot(run_scenario(name))
+        path = GOLDEN_DIR / f"{name}.json.gz"
+        blob = json.dumps(snap, sort_keys=True, indent=None, separators=(",", ":"))
+        with gzip.open(path, "wt", encoding="utf-8", compresslevel=9) as fh:
+            fh.write(blob)
+        print(
+            f"{name}: {snap['n_trace_events']} trace events, "
+            f"{snap['events_processed']} sim events -> {path} "
+            f"({path.stat().st_size} bytes)"
+        )
+
+
+if __name__ == "__main__":
+    main()

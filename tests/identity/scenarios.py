@@ -1,0 +1,92 @@
+"""Fixed-seed scenarios pinned by the bit-for-bit identity suite.
+
+Three deliberately different shapes of run, all fully deterministic from
+their seeds, all with tracing on:
+
+* ``paper_example`` — every job is the paper's worked-example DAG (Fig. 2)
+  on a small grid; exercises the protocol walkthrough path end to end;
+* ``e2_16`` — the E2-style 16-site random network under moderate load;
+  the bread-and-butter macro shape every benchmark uses;
+* ``e7_churn`` — the hardened protocol under the "moderate" churn preset:
+  retransmissions, lease expiries and timer cancellation storms, i.e. the
+  paths the lazy heap compaction must not perturb.
+
+The goldens under ``tests/identity/goldens/`` were generated from the
+pre-optimization tree (see ``make_goldens.py``); any optimization that
+changes a single trace event, its order, or one metric bit fails the suite.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from repro.core.config import RTDSConfig
+from repro.experiments.runner import ExperimentConfig, RunResult, run_experiment
+from repro.faults.plan import hardened
+from repro.graphs.generators import paper_example_dag
+from repro.simnet.trace import canonical_trace, trace_digest
+from repro.workloads.scenarios import churn_plan
+
+
+def _paper_example() -> ExperimentConfig:
+    return ExperimentConfig(
+        topology="grid",
+        topology_kwargs={"rows": 3, "cols": 3, "delay_range": (0.5, 1.5)},
+        duration=60.0,
+        rho=0.7,
+        dag_factory=lambda rng: paper_example_dag(),
+        seed=42,
+        trace=True,
+    )
+
+
+def _e2_16() -> ExperimentConfig:
+    return ExperimentConfig(
+        topology="erdos_renyi",
+        topology_kwargs={"n": 16, "p": 0.25, "delay_range": (0.2, 1.0)},
+        duration=240.0,
+        rho=0.7,
+        seed=0,
+        trace=True,
+    )
+
+
+def _e7_churn() -> ExperimentConfig:
+    duration = 180.0
+    return ExperimentConfig(
+        topology="erdos_renyi",
+        topology_kwargs={"n": 16, "p": 0.25, "delay_range": (0.2, 1.0)},
+        duration=duration,
+        rho=0.6,
+        rtds=hardened(RTDSConfig(), ack_timeout=5.0, ack_retries=1),
+        faults=churn_plan("moderate", duration, seed=3),
+        seed=3,
+        trace=True,
+    )
+
+
+SCENARIOS = {
+    "paper_example": _paper_example,
+    "e2_16": _e2_16,
+    "e7_churn": _e7_churn,
+}
+
+
+def run_scenario(name: str) -> RunResult:
+    return run_experiment(SCENARIOS[name]())
+
+
+def snapshot(result: RunResult) -> Dict[str, Any]:
+    """Everything the identity suite pins, as one JSON-able dict."""
+    events = result.tracer.events
+    return {
+        "events_processed": result.network.sim.events_processed,
+        "final_time": float(result.network.sim.now),
+        "setup_messages": result.setup_messages,
+        "message_counts": {k: int(v) for k, v in sorted(result.network.stats.count.items())},
+        "total_volume": float(result.network.stats.total_volume),
+        "scalar_metrics": result.scalar_metrics(),
+        "n_trace_events": len(events),
+        "trace_sha256": trace_digest(events),
+        "trace": canonical_trace(events),
+    }

@@ -1,0 +1,63 @@
+"""Bit-for-bit identity suite: the hot-path optimizations must be invisible.
+
+Each scenario replays a fixed-seed run and compares, against goldens
+captured from the pre-optimization tree:
+
+* the **full trace event list** — every event's time, category, site and
+  detail payload, in order (not just a digest, so a mismatch pinpoints the
+  first diverging event);
+* the **scalar metrics** — every numeric summary field, compared exactly
+  (no tolerance: determinism means the same floats, not close floats);
+* the simulator's processed-event count, final clock, and the per-type
+  physical message counters.
+
+If a future PR *intentionally* changes protocol semantics, regenerate with
+``PYTHONPATH=src python -m tests.identity.make_goldens`` and say so in the
+PR description.
+"""
+
+import gzip
+import json
+import pathlib
+
+import pytest
+
+from tests.identity.scenarios import SCENARIOS, run_scenario, snapshot
+
+GOLDEN_DIR = pathlib.Path(__file__).parent / "goldens"
+
+
+def load_golden(name: str) -> dict:
+    with gzip.open(GOLDEN_DIR / f"{name}.json.gz", "rt", encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+@pytest.mark.parametrize("name", sorted(SCENARIOS))
+def test_bit_for_bit_identity(name):
+    golden = load_golden(name)
+    snap = snapshot(run_scenario(name))
+
+    # Exact scalar invariants first: cheap, and the most telling failures.
+    assert snap["events_processed"] == golden["events_processed"]
+    assert snap["final_time"] == golden["final_time"]
+    assert snap["setup_messages"] == golden["setup_messages"]
+    assert snap["message_counts"] == golden["message_counts"]
+    assert snap["total_volume"] == golden["total_volume"]
+    assert snap["scalar_metrics"] == golden["scalar_metrics"], (
+        f"{name}: scalar metrics diverged"
+    )
+
+    # The trace, event by event (report the first divergence precisely).
+    assert snap["n_trace_events"] == golden["n_trace_events"], (
+        f"{name}: trace length {snap['n_trace_events']} != golden "
+        f"{golden['n_trace_events']}"
+    )
+    for i, (got, want) in enumerate(zip(snap["trace"], golden["trace"])):
+        assert got == want, f"{name}: trace diverges at event {i}: {got!r} != {want!r}"
+    assert snap["trace_sha256"] == golden["trace_sha256"]
+
+
+def test_goldens_were_not_regenerated_accidentally():
+    """The goldens directory must hold exactly one file per scenario."""
+    files = sorted(p.name for p in GOLDEN_DIR.glob("*.json.gz"))
+    assert files == sorted(f"{n}.json.gz" for n in SCENARIOS)

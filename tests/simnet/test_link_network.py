@@ -80,7 +80,7 @@ class TestNetwork:
         net.add_link(0, 3, 1.0)
         net.add_link(0, 1, 1.0)
         net.add_link(0, 2, 1.0)
-        assert net.neighbors(0) == [1, 2, 3]
+        assert net.neighbors(0) == (1, 2, 3)
 
     def test_delivery_after_delay(self, sim):
         net, sites = make_line_network(sim, 2, delay=2.5)

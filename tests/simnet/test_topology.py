@@ -148,7 +148,7 @@ class TestFactory:
         net = build_network(topo, sim, lambda sid, n: RecordingSite(sid, n))
         assert net.size() == 5
         assert net.is_connected()
-        assert net.neighbors(0) == [1, 4]
+        assert net.neighbors(0) == (1, 4)
 
     def test_build_network_with_throughput(self):
         sim = Simulator()
