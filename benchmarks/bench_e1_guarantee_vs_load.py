@@ -10,7 +10,6 @@ expected shape (not absolute numbers — our substrate is a simulator):
 * RTDS approaches it without any global state.
 """
 
-import pytest
 
 from benchmarks.conftest import once
 from repro.experiments.evaluation import sweep_load

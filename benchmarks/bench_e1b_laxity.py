@@ -9,7 +9,6 @@ with huge laxity everything fits everywhere and all schemes converge.
 
 from dataclasses import replace
 
-import pytest
 
 from benchmarks.conftest import once
 from repro.experiments.reporting import format_table

@@ -10,7 +10,6 @@ roughly linearly with N (flooding is Θ(|E|) per update, |E| ∝ N at constant
 degree).
 """
 
-import pytest
 
 from benchmarks.conftest import once
 from repro.experiments.evaluation import sweep_network_size

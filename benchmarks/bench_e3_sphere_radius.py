@@ -7,7 +7,6 @@ one-time 2h-phase construction and the per-job enrollment) keeps growing —
 so a small h is the sweet spot, which is the paper's design point.
 """
 
-import pytest
 
 from benchmarks.conftest import once
 from repro.experiments.evaluation import sweep_sphere_radius

@@ -7,7 +7,6 @@ network size.
 """
 
 import numpy as np
-import pytest
 
 from benchmarks.conftest import once
 from repro.experiments.reporting import format_table

@@ -13,7 +13,6 @@ implemented and measured here against the base algorithm:
 
 import math
 
-import pytest
 
 from benchmarks.conftest import once
 from repro.experiments.evaluation import sweep_ablations, sweep_uniform_machines

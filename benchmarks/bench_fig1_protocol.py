@@ -6,7 +6,6 @@ real simulated network and asserts the externally observable steps occur in
 exactly that order, then prints the annotated trace.
 """
 
-import pytest
 
 from benchmarks.conftest import once
 from repro.core.events import JobOutcome

@@ -6,7 +6,6 @@ Table 1 + §12 (see DESIGN.md §4): c = (6, 4, 4, 2, 5), arcs 1→3, 2→3, 1→
 example relies on.
 """
 
-import pytest
 
 from benchmarks.conftest import once
 from repro.graphs.analysis import bottom_levels, critical_path, critical_path_length

@@ -49,6 +49,7 @@ class BaselineSite(SiteBase):
         speed: float = 1.0,
         metrics=None,
         mgmt_overhead: Time = 0.0,
+        routing_factory=None,
     ) -> None:
         super().__init__(sid, network, mgmt_overhead)
         self.speed = speed
@@ -57,7 +58,10 @@ class BaselineSite(SiteBase):
         self.executor = PlanExecutor(network.sim, self.plan)
         if metrics is not None and hasattr(metrics, "on_task_complete"):
             self.executor.on_complete.append(metrics.on_task_complete)
-        self.routing = PhasedBellmanFord(self, routing_phases)
+        # same pluggable routing back end RTDSSite has: None = the phased
+        # protocol, or an oracle factory installing precomputed tables
+        make_routing = routing_factory if routing_factory is not None else PhasedBellmanFord
+        self.routing = make_routing(self, routing_phases)
 
     def start(self) -> None:
         self.routing.start()

@@ -200,6 +200,7 @@ class CentralizedSite(BaselineSite):
         surplus_window: float = 200.0,
         speed: float = 1.0,
         metrics=None,
+        routing_factory=None,
     ) -> None:
         super().__init__(
             sid,
@@ -208,6 +209,7 @@ class CentralizedSite(BaselineSite):
             surplus_window=surplus_window,
             speed=speed,
             metrics=metrics,
+            routing_factory=routing_factory,
         )
         self.coordinator_id = coordinator_id
         self.coordinator: Optional[CentralizedCoordinator] = None

@@ -51,6 +51,7 @@ class FocusedSite(BaselineSite):
         surplus_window: float = 200.0,
         speed: float = 1.0,
         metrics=None,
+        routing_factory=None,
     ) -> None:
         super().__init__(
             sid,
@@ -59,6 +60,7 @@ class FocusedSite(BaselineSite):
             surplus_window=surplus_window,
             speed=speed,
             metrics=metrics,
+            routing_factory=routing_factory,
         )
         self.broadcast_period = broadcast_period
         self.bid_count = bid_count

@@ -25,6 +25,7 @@ class LocalOnlySite(BaselineSite):
         surplus_window: float = 200.0,
         speed: float = 1.0,
         metrics=None,
+        routing_factory=None,
     ) -> None:
         # Routing still runs one phase (adjacent links) so the substrate is
         # identical; local-only never sends a routed message.
@@ -35,6 +36,7 @@ class LocalOnlySite(BaselineSite):
             surplus_window=surplus_window,
             speed=speed,
             metrics=metrics,
+            routing_factory=routing_factory,
         )
 
     def submit_job(self, job: JobId, dag: Dag, deadline: Time) -> None:

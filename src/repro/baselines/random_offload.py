@@ -38,6 +38,7 @@ class RandomOffloadSite(BaselineSite):
         surplus_window: float = 200.0,
         speed: float = 1.0,
         metrics=None,
+        routing_factory=None,
     ) -> None:
         super().__init__(
             sid,
@@ -46,6 +47,7 @@ class RandomOffloadSite(BaselineSite):
             surplus_window=surplus_window,
             speed=speed,
             metrics=metrics,
+            routing_factory=routing_factory,
         )
         self.max_hops = max_hops
         self.tries = tries

@@ -10,6 +10,8 @@
     rtds sweep-load --algorithms rtds,local --rhos 0.3,0.6,0.9
     rtds sweep-size --algorithms rtds,focused --sizes 16,36,64
     rtds sweep-faults --losses 0.0,0.05,0.15,0.3 --runs 3 --jobs 2 --store results/store --resume
+    rtds sweep-widenet --sizes 256,512,1024 --kinds geometric,barabasi_albert --jobs 4
+    rtds run --sites 512 --routing oracle      # vectorized setup, no simulated routing
 
 ``campaign`` and ``sweep-faults`` run through the parallel campaign
 runtime (:mod:`repro.experiments.parallel`): ``--jobs N`` fans the cell
@@ -96,6 +98,7 @@ def _base_config(args: argparse.Namespace) -> ExperimentConfig:
         seed=args.seed,
         rtds=rtds_cfg,
         faults=faults,
+        routing_mode=getattr(args, "routing", "protocol"),
     )
 
 
@@ -173,7 +176,7 @@ def _cmd_profile(args: argparse.Namespace) -> int:
         f"({sim.events_processed / wall:.0f} events/sec; "
         f"loop only: {sim.events_processed / sim.wall_seconds:.0f} events/sec)"
     )
-    print(f"note: cProfile instrumentation inflates wall time; ratios matter, not totals\n")
+    print("note: cProfile instrumentation inflates wall time; ratios matter, not totals\n")
     stats = pstats.Stats(profiler, stream=sys.stdout)
     stats.sort_stats(args.sort).print_stats(args.limit)
     return 0
@@ -260,6 +263,33 @@ def _cmd_sweep_faults(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_sweep_widenet(args: argparse.Namespace) -> int:
+    from repro.experiments.widenet import sweep_widenet
+
+    base = _base_config(args)
+    kinds = args.kinds.split(",")
+    sizes = [int(x) for x in args.sizes.split(",")]
+    try:
+        rows = sweep_widenet(
+            base=base,
+            kinds=kinds,
+            sizes=sizes,
+            seeds=range(args.seed, args.seed + args.runs),
+            executor=args.jobs,
+            store=_campaign_store(args, "sweep-widenet"),
+            resume=args.resume,
+            progress=_progress_printer(),
+            routing_mode=args.routing,
+        )
+    except CampaignCellError as err:
+        return _report_cell_failures(err, has_store=bool(args.store))
+    except ConfigError as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 1
+    print(format_table(rows, title=f"E10: wide-network scale-out ({args.routing} routing)"))
+    return 0
+
+
 def _cmd_sweep_load(args: argparse.Namespace) -> int:
     cfg = _base_config(args)
     algos = args.algorithms.split(",")
@@ -314,6 +344,11 @@ def build_parser() -> argparse.ArgumentParser:
         )
         p.add_argument("--ack-timeout", type=float, default=5.0, dest="ack_timeout")
         p.add_argument("--ack-retries", type=int, default=1, dest="ack_retries")
+        p.add_argument(
+            "--routing", default="protocol", choices=["protocol", "oracle"],
+            help="routing back end: simulate the phased protocol, or install "
+            "vectorized precomputed tables (identical routes, wide-network-fast setup)",
+        )
 
     def runtime(p: argparse.ArgumentParser) -> None:
         p.add_argument(
@@ -364,6 +399,20 @@ def build_parser() -> argparse.ArgumentParser:
     p_sf.add_argument("--runs", type=int, default=2)
     runtime(p_sf)
 
+    p_wn = sub.add_parser(
+        "sweep-widenet", help="E10 wide-network scale-out campaign (oracle routing)"
+    )
+    common(p_wn)
+    # E10's point is the scale-out path: oracle routing unless asked otherwise
+    p_wn.set_defaults(routing="oracle")
+    p_wn.add_argument("--sizes", default="256,512,1024", help="network sizes, comma-separated")
+    p_wn.add_argument(
+        "--kinds", default="geometric,barabasi_albert",
+        help="topology families (geometric,barabasi_albert)",
+    )
+    p_wn.add_argument("--runs", type=int, default=1, help="seeds per (kind, size) cell")
+    runtime(p_wn)
+
     p_sl = sub.add_parser("sweep-load", help="E1 load sweep")
     common(p_sl)
     p_sl.add_argument("--algorithms", default="rtds,local")
@@ -399,6 +448,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "sweep-radius": _cmd_sweep_radius,
         "sweep-ablations": _cmd_ablations,
         "sweep-faults": _cmd_sweep_faults,
+        "sweep-widenet": _cmd_sweep_widenet,
     }
     return commands[args.command](args)
 

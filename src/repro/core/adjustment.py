@@ -23,7 +23,7 @@ never exceeds the slack (uniform mode is the special case w ≡ 1, W = η).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.errors import MappingError

@@ -82,6 +82,7 @@ class RTDSSite(SiteBase):
         speed: float = 1.0,
         metrics=None,
         mgmt_overhead: Time = 0.0,
+        routing_factory=None,
     ) -> None:
         super().__init__(sid, network, mgmt_overhead)
         self.config = config
@@ -93,7 +94,11 @@ class RTDSSite(SiteBase):
         if metrics is not None and hasattr(metrics, "on_task_complete"):
             self.executor.on_complete.append(metrics.on_task_complete)
 
-        self.routing = PhasedBellmanFord(self, config.pcs_phases, on_done=self._routing_done)
+        # routing_factory (site, phases, on_done) lets the experiment
+        # runner swap the simulated protocol for precomputed oracle tables
+        # (repro.routing.oracle); None = the paper's distributed protocol.
+        make_routing = routing_factory if routing_factory is not None else PhasedBellmanFord
+        self.routing = make_routing(self, config.pcs_phases, on_done=self._routing_done)
         self.pcs: Optional[PCS] = None
         self.lock = SiteLock(sid)
         #: initiator-side session (one at a time; the lock enforces it)

@@ -15,6 +15,9 @@
   trace;
 * :mod:`repro.experiments.evaluation` — the E1–E5 sweep drivers used by
   the benchmark files;
+* :mod:`repro.experiments.widenet` — the E10 wide-network scale-out
+  campaign (256-1024+ sites over geometric and scale-free topologies,
+  oracle routing back end);
 * :mod:`repro.experiments.reporting` — plain-text tables.
 """
 
@@ -47,6 +50,12 @@ from repro.experiments.paper_example import (
     table1_rows,
 )
 from repro.experiments.reporting import format_table
+from repro.experiments.widenet import (
+    E10_KINDS,
+    E10_SIZES,
+    sweep_widenet,
+    widenet_config,
+)
 
 __all__ = [
     "Aggregate",
@@ -67,6 +76,10 @@ __all__ = [
     "run_experiment",
     "assert_sound",
     "verify_execution",
+    "E10_KINDS",
+    "E10_SIZES",
+    "sweep_widenet",
+    "widenet_config",
     "PAPER_DEADLINE",
     "PAPER_OMEGA",
     "PAPER_SURPLUSES",

@@ -17,9 +17,8 @@ them with pytest-benchmark and print the tables.
 from __future__ import annotations
 
 from dataclasses import replace
-from typing import Any, Dict, List, Optional, Sequence
+from typing import Any, Dict, List, Sequence
 
-from repro.core.config import RTDSConfig
 from repro.experiments.runner import ExperimentConfig, RunResult, run_experiment
 
 

@@ -36,7 +36,14 @@ from repro.faults.injector import FaultInjector
 from repro.faults.plan import FaultPlan
 from repro.metrics.collector import MetricsCollector
 from repro.metrics.summary import ExperimentSummary, summarize
+from repro.routing.oracle import oracle_routing_factory
 from repro.routing.reference import dijkstra, hop_diameter
+from repro.routing.vectorized import (
+    hop_diameter_fast,
+    phased_tables,
+    true_distance_matrix,
+    weight_matrix,
+)
 from repro.simnet.engine import Simulator
 from repro.simnet.network import Network
 from repro.simnet.topology import Topology, build_network, topology_factory
@@ -96,6 +103,15 @@ class ExperimentConfig:
     #: no-faults code path bit-for-bit untouched. Window/churn times are
     #: relative to workload start; setup/routing always runs fault-free.
     faults: Optional[FaultPlan] = None
+    #: routing back end: ``"protocol"`` simulates the phased Bellman–Ford
+    #: message-for-message (the default; identity goldens pin it);
+    #: ``"oracle"`` installs vectorized precomputed tables
+    #: (:mod:`repro.routing.oracle`) — same final routes bit-for-bit, but
+    #: setup costs milliseconds instead of simulating O(n * phases * degree)
+    #: messages, which is what makes 1000+-site networks (E10) practical.
+    #: In oracle mode setup takes zero simulated time and sends zero
+    #: messages, so ``setup_time``/``setup_messages`` read 0.
+    routing_mode: str = "protocol"
     seed: int = 0
     trace: bool = False
     label: Optional[str] = None
@@ -103,6 +119,10 @@ class ExperimentConfig:
     def __post_init__(self) -> None:
         if self.algorithm not in ALGORITHMS:
             raise ConfigError(f"unknown algorithm {self.algorithm!r}; known: {ALGORITHMS}")
+        if self.routing_mode not in ("protocol", "oracle"):
+            raise ConfigError(
+                f"unknown routing_mode {self.routing_mode!r}; known: ('protocol', 'oracle')"
+            )
         if (
             self.faults is not None
             and not self.faults.is_zero()
@@ -174,15 +194,45 @@ def _make_sites(
     sim: Simulator,
     tracer: Tracer,
     metrics: MetricsCollector,
-) -> Network:
-    adj = topo.adjacency()
-    global_phases = max(1, hop_diameter(adj))
+):
+    """Build the live network; returns ``(network, weight_matrix_or_None)``.
+
+    The weight matrix is only materialized in oracle routing mode and is
+    handed back so the caller can reuse it (the centralized coordinator
+    needs all-pairs distances from the same matrix).
+    """
+    oracle = config.routing_mode == "oracle"
+    needs_global = config.algorithm in ("centralized", "focused", "random")
+    W = weight_matrix(topo) if oracle else None
+    if needs_global:
+        # Global routing phase budget: the network's hop diameter. Only
+        # the baselines need it; RTDS's 2h-bounded flooding never does,
+        # so wide RTDS runs skip this O(n*(n+m)) oracle entirely.
+        if oracle:
+            global_phases = max(1, hop_diameter_fast(W))
+        else:
+            global_phases = max(1, hop_diameter(topo.adjacency()))
+    else:
+        global_phases = 1
+
+    routing_factory = None
+    if oracle:
+        if config.algorithm == "rtds":
+            phase_budget = config.rtds.pcs_phases
+        elif config.algorithm == "local":
+            phase_budget = 1
+        else:
+            phase_budget = global_phases
+        routing_factory = oracle_routing_factory({phase_budget: phased_tables(W, phase_budget)})
 
     if config.algorithm == "rtds":
         rtds_cfg = replace(config.rtds, surplus_window=config.surplus_window)
 
         def factory(sid: int, net: Network) -> RTDSSite:
-            return RTDSSite(sid, net, rtds_cfg, speed=_speed_of(config, sid), metrics=metrics)
+            return RTDSSite(
+                sid, net, rtds_cfg, speed=_speed_of(config, sid), metrics=metrics,
+                routing_factory=routing_factory,
+            )
 
     elif config.algorithm == "local":
 
@@ -190,6 +240,7 @@ def _make_sites(
             return LocalOnlySite(
                 sid, net, surplus_window=config.surplus_window,
                 speed=_speed_of(config, sid), metrics=metrics,
+                routing_factory=routing_factory,
             )
 
     elif config.algorithm == "centralized":
@@ -199,6 +250,7 @@ def _make_sites(
                 sid, net, routing_phases=global_phases, coordinator_id=0,
                 surplus_window=config.surplus_window,
                 speed=_speed_of(config, sid), metrics=metrics,
+                routing_factory=routing_factory,
             )
 
     elif config.algorithm == "focused":
@@ -210,6 +262,7 @@ def _make_sites(
                 bid_count=config.focused_bid_count,
                 surplus_window=config.surplus_window,
                 speed=_speed_of(config, sid), metrics=metrics,
+                routing_factory=routing_factory,
             )
 
     else:  # random
@@ -220,9 +273,10 @@ def _make_sites(
                 max_hops=config.random_max_hops, tries=config.random_tries,
                 seed=config.seed, surplus_window=config.surplus_window,
                 speed=_speed_of(config, sid), metrics=metrics,
+                routing_factory=routing_factory,
             )
 
-    return build_network(topo, sim, factory, tracer)
+    return build_network(topo, sim, factory, tracer), W
 
 
 @contextmanager
@@ -260,7 +314,7 @@ def _run_experiment(config: ExperimentConfig) -> RunResult:
     sim = Simulator()
     tracer = Tracer(enabled=config.trace)
     metrics = MetricsCollector()
-    net = _make_sites(config, topo, sim, tracer, metrics)
+    net, W = _make_sites(config, topo, sim, tracer, metrics)
     if config.link_throughput is not None:
         # applied post-construction so _make_sites stays algorithm-generic
         for link in net.links():
@@ -270,8 +324,21 @@ def _run_experiment(config: ExperimentConfig) -> RunResult:
     for s in sites:
         s.start()
     if config.algorithm == "centralized":
-        adj = topo.adjacency()
-        distances = {sid: dijkstra(adj, sid) for sid in adj}
+        if config.routing_mode == "oracle":
+            # converged min-plus == true shortest delays, one batched pass
+            # (reuses the weight matrix _make_sites built for this run)
+            dist = true_distance_matrix(W)
+            distances = {
+                sid: {
+                    d: float(dist[sid, d])
+                    for d in range(topo.n)
+                    if np.isfinite(dist[sid, d])
+                }
+                for sid in range(topo.n)
+            }
+        else:
+            adj = topo.adjacency()
+            distances = {sid: dijkstra(adj, sid) for sid in adj}
         coord = net.site(0)
         coord.install_coordinator(
             dict(net.sites), distances, shortlist=config.centralized_shortlist

@@ -20,7 +20,6 @@ from __future__ import annotations
 
 from typing import Dict, List, Tuple
 
-from repro.core.events import JobOutcome
 from repro.routing.reference import dijkstra
 from repro.types import EPS, JobId, SiteId, TaskId
 

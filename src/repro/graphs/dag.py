@@ -16,8 +16,8 @@ simulator without copying.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, Iterator, Mapping, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, Mapping, Tuple
 
 from repro.errors import CycleError, DagError
 from repro.types import TaskId

@@ -123,7 +123,6 @@ def scatter_gather_dag(
     if rounds < 1 or width < 2:
         raise DagError("scatter-gather needs rounds >= 1 and width >= 2")
     rng = rng or np.random.default_rng(0)
-    ids = []
     edges = []
     nid = 0
 

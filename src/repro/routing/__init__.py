@@ -12,11 +12,26 @@ the neighbourhood.
   synchronisation with buffering of early neighbours).
 * :mod:`repro.routing.reference` — centralized hop-bounded Bellman–Ford and
   Dijkstra oracles used by tests and metrics (never by protocol code).
+* :mod:`repro.routing.vectorized` — the same phased computation as batched
+  numpy min-plus sweeps over the link-weight matrix (semantics-exact,
+  cross-checked against both the oracle and the simulated protocol).
+* :mod:`repro.routing.oracle` — lazy array-backed routing tables and the
+  :class:`OracleRouting` drop-in that installs the vectorized results into
+  sites without simulating a single message (the wide-network setup path).
 """
 
 from repro.routing.table import RouteEntry, RoutingTable
 from repro.routing.bellman_ford import PhasedBellmanFord, run_pcs_phase_protocol
+from repro.routing.oracle import LazyRoutingTable, OracleRouting, oracle_routing_factory
 from repro.routing.reference import dijkstra, hop_bounded_distances
+from repro.routing.vectorized import (
+    SharedTables,
+    bfs_hops_matrix,
+    hop_diameter_fast,
+    phased_tables,
+    true_distance_matrix,
+    weight_matrix,
+)
 
 __all__ = [
     "RouteEntry",
@@ -25,4 +40,13 @@ __all__ = [
     "run_pcs_phase_protocol",
     "dijkstra",
     "hop_bounded_distances",
+    "SharedTables",
+    "bfs_hops_matrix",
+    "hop_diameter_fast",
+    "phased_tables",
+    "true_distance_matrix",
+    "weight_matrix",
+    "LazyRoutingTable",
+    "OracleRouting",
+    "oracle_routing_factory",
 ]

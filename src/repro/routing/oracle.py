@@ -1,0 +1,333 @@
+"""Oracle routing: install vectorized tables without simulating the protocol.
+
+The wide-network scale-out path (DESIGN.md "Wide-network scaling model").
+Instead of simulating ``2h`` phases of routing-update messages per site —
+the setup cost that dominated wall clock beyond ~100 sites —
+:class:`OracleRouting` is a drop-in for
+:class:`~repro.routing.bellman_ford.PhasedBellmanFord` that pulls its
+rows from one :class:`~repro.routing.vectorized.SharedTables` computed
+once per network. Because the vectorized kernel replicates the protocol's
+replacement rule and float association exactly, every site ends up with
+the *same* next-hop/distance/PCS state a simulated run would have built.
+
+Per-site state is O(degree)-ish and lazy:
+
+* :class:`LazyRoutingTable` — the :class:`~repro.routing.table.RoutingTable`
+  API over row views of the shared arrays; :class:`RouteEntry` objects are
+  materialized (and memoized) only for destinations actually touched;
+* :class:`NextHopView` / :class:`DistanceView` — read-only mappings the
+  site's ``next_hop`` / ``known_distance`` attributes are rebound to,
+  replacing the per-site dict copies (the O(n) per site that made 1000+
+  sites allocate hundreds of MB of duplicated routing state);
+* the PCS is built sparsely from the row arrays
+  (:meth:`LazyRoutingTable.pcs`), touching only sites inside the sphere
+  radius.
+
+Selected per experiment with ``ExperimentConfig.routing_mode="oracle"``;
+the default ``"protocol"`` path is byte-for-byte untouched (the identity
+goldens pin it).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import RoutingError
+from repro.routing.table import RouteEntry
+from repro.routing.vectorized import SharedTables
+from repro.types import SiteId, Time
+
+
+class _RowView:
+    """Shared base of the read-only row mappings (one site's table row)."""
+
+    __slots__ = ("_shared", "_owner")
+
+    def __init__(self, shared: SharedTables, owner: SiteId) -> None:
+        self._shared = shared
+        self._owner = owner
+
+    def _known(self) -> "list":
+        """Destination ids present in this row (self included)."""
+        return [int(d) for d in np.flatnonzero(self._shared.disc[self._owner] >= 0)]
+
+
+class NextHopView(_RowView):
+    """``dest -> adjacent next hop`` over the shared next-hop row.
+
+    Mapping-compatible with the dict :class:`~repro.simnet.site.SiteBase`
+    normally carries; the owner itself is absent (next hop to self is
+    undefined), exactly like ``RoutingTable.as_next_hop_map``.
+    """
+
+    def get(self, dest: SiteId, default=None):
+        """The adjacent hop towards ``dest``, or ``default`` if unrouted."""
+        if dest == self._owner or not 0 <= dest < self._shared.n:
+            return default
+        hop = self._shared.next_hop[self._owner, dest]
+        return int(hop) if hop >= 0 else default
+
+    def __getitem__(self, dest: SiteId) -> SiteId:
+        hop = self.get(dest)
+        if hop is None:
+            raise KeyError(dest)
+        return hop
+
+    def __contains__(self, dest: SiteId) -> bool:
+        return self.get(dest) is not None
+
+    def __iter__(self) -> Iterator[SiteId]:
+        return (d for d in self._known() if d != self._owner)
+
+    def __len__(self) -> int:
+        return self._shared.known_count(self._owner) - 1
+
+    def keys(self):
+        """Routable destinations (owner excluded)."""
+        return list(self)
+
+    def items(self):
+        """``(dest, next_hop)`` pairs, destination-ordered."""
+        return [(d, self[d]) for d in self]
+
+
+class DistanceView(_RowView):
+    """``dest -> known minimum delay`` over the shared distance row.
+
+    Includes the owner (distance 0), like ``RoutingTable.as_distance_map``.
+    """
+
+    def get(self, dest: SiteId, default=None):
+        """Known delay to ``dest``, or ``default`` if undiscovered."""
+        if not 0 <= dest < self._shared.n:
+            return default
+        if self._shared.disc[self._owner, dest] < 0:
+            return default
+        return float(self._shared.dist[self._owner, dest])
+
+    def __getitem__(self, dest: SiteId) -> Time:
+        d = self.get(dest)
+        if d is None:
+            raise KeyError(dest)
+        return d
+
+    def __contains__(self, dest: SiteId) -> bool:
+        return self.get(dest) is not None
+
+    def __iter__(self) -> Iterator[SiteId]:
+        return iter(self._known())
+
+    def __len__(self) -> int:
+        return self._shared.known_count(self._owner)
+
+    def keys(self):
+        """Known destinations (owner included), ascending."""
+        return self._known()
+
+    def values(self):
+        """Known delays, destination-ordered."""
+        return [self[d] for d in self._known()]
+
+    def items(self):
+        """``(dest, delay)`` pairs, destination-ordered."""
+        return [(d, self[d]) for d in self._known()]
+
+
+class LazyRoutingTable:
+    """The :class:`~repro.routing.table.RoutingTable` API over shared rows.
+
+    Row data lives in the network-wide :class:`SharedTables`;
+    :class:`RouteEntry` objects are built on first access per destination
+    and memoized, so a site that only ever talks to its sphere
+    materializes O(|PCS|) entries, not O(n).
+    """
+
+    __slots__ = ("owner", "_shared", "_entries")
+
+    def __init__(self, shared: SharedTables, owner: SiteId) -> None:
+        self.owner = owner
+        self._shared = shared
+        self._entries: Dict[SiteId, RouteEntry] = {}
+
+    # -- queries (RoutingTable parity) --------------------------------------
+
+    def __contains__(self, dest: SiteId) -> bool:
+        return 0 <= dest < self._shared.n and self._shared.disc[self.owner, dest] >= 0
+
+    def __len__(self) -> int:
+        return self._shared.known_count(self.owner)
+
+    def __iter__(self) -> Iterator[RouteEntry]:
+        return (self.entry(d) for d in self.destinations())
+
+    def entry(self, dest: SiteId) -> RouteEntry:
+        """The (memoized) route line for ``dest``."""
+        e = self._entries.get(dest)
+        if e is not None:
+            return e
+        if dest not in self:
+            raise RoutingError(f"site {self.owner}: no route to {dest}")
+        s = self._shared
+        e = RouteEntry(
+            int(dest),
+            float(s.dist[self.owner, dest]),
+            int(s.next_hop[self.owner, dest]),
+            int(s.hops[self.owner, dest]),
+            int(s.disc[self.owner, dest]),
+        )
+        self._entries[dest] = e
+        return e
+
+    def get(self, dest: SiteId) -> Optional[RouteEntry]:
+        """``entry(dest)`` or ``None`` when unrouted."""
+        return self.entry(dest) if dest in self else None
+
+    def distance(self, dest: SiteId) -> Time:
+        """Known delay to ``dest`` (raises when unrouted)."""
+        return self.entry(dest).distance
+
+    def next_hop(self, dest: SiteId) -> SiteId:
+        """Adjacent hop towards ``dest`` (undefined for the owner)."""
+        e = self.entry(dest)
+        if e.dest == self.owner:
+            raise RoutingError(f"site {self.owner}: next hop to self is undefined")
+        return e.next_hop
+
+    def destinations(self) -> List[SiteId]:
+        """Known destination ids, ascending (owner included)."""
+        return [int(d) for d in np.flatnonzero(self._shared.disc[self.owner] >= 0)]
+
+    def within_phase(self, max_phase: int) -> List[SiteId]:
+        """Destinations first discovered at or before ``max_phase``."""
+        disc = self._shared.disc[self.owner]
+        return [int(d) for d in np.flatnonzero((disc >= 0) & (disc <= max_phase))]
+
+    def as_next_hop_map(self) -> Dict[SiteId, SiteId]:
+        """Materialized ``dest -> next hop`` dict (owner excluded)."""
+        s = self._shared
+        return {d: int(s.next_hop[self.owner, d]) for d in self.destinations() if d != self.owner}
+
+    def as_distance_map(self) -> Dict[SiteId, Time]:
+        """Materialized ``dest -> delay`` dict (owner included)."""
+        s = self._shared
+        return {d: float(s.dist[self.owner, d]) for d in self.destinations()}
+
+    def distances_to(self, dests, exclude: Optional[SiteId] = None) -> Dict[SiteId, Time]:
+        """Bulk known delays to ``dests`` (absent ones skipped)."""
+        owner_row_disc = self._shared.disc[self.owner]
+        owner_row_dist = self._shared.dist[self.owner]
+        n = self._shared.n
+        return {
+            d: float(owner_row_dist[d])
+            for d in dests
+            if d != exclude and 0 <= d < n and owner_row_disc[d] >= 0
+        }
+
+    def lines(self) -> List[Tuple[SiteId, Time, int]]:
+        """All route lines in wire format, deterministic order."""
+        return [self.entry(d).as_line() for d in self.destinations()]
+
+    # -- sphere construction ------------------------------------------------
+
+    def pcs(self, h: int):
+        """Sparse PCS build: touch only sites within hop radius ``h``.
+
+        The vectorized counterpart of :func:`repro.spheres.pcs.build_pcs`:
+        membership, delays and hop counts come straight from the shared
+        row arrays, and only the member entries are ever materialized.
+        Returns the identical :class:`~repro.spheres.pcs.PCS` a protocol
+        table would produce.
+        """
+        from repro.spheres.pcs import PCS
+
+        if h < 1:
+            raise RoutingError(f"PCS radius h must be >= 1, got {h}")
+        disc = self._shared.disc[self.owner]
+        member_ids = np.flatnonzero((disc >= 1) & (disc <= h))
+        dist_row = self._shared.dist[self.owner, member_ids]
+        hops_row = disc[member_ids]
+        distance = {int(d): float(x) for d, x in zip(member_ids, dist_row)}
+        hops = {int(d): int(x) for d, x in zip(member_ids, hops_row)}
+        order = np.lexsort((member_ids, dist_row))
+        members = tuple(int(member_ids[k]) for k in order)
+        return PCS(root=self.owner, h=h, members=members, distance=distance, hops=hops)
+
+
+class OracleRouting:
+    """Drop-in for :class:`~repro.routing.bellman_ford.PhasedBellmanFord`.
+
+    Same constructor shape and post-``start()`` contract — ``done``,
+    ``phase``, ``table``, the site's ``next_hop`` / ``known_distance``
+    filled, the ``routing.done`` trace event, ``on_done`` fired — but
+    ``start()`` completes synchronously at t=0 from the shared
+    precomputed tables: no messages, no simulated phases.
+    """
+
+    def __init__(
+        self,
+        site,
+        total_phases: int,
+        shared: SharedTables,
+        on_done: Optional[Callable[[], None]] = None,
+    ) -> None:
+        if total_phases < 1:
+            raise RoutingError(f"total_phases must be >= 1, got {total_phases}")
+        if shared.phases != total_phases:
+            raise RoutingError(
+                f"shared tables were built for {shared.phases} phases, "
+                f"site {site.sid} wants {total_phases}"
+            )
+        if not 0 <= site.sid < shared.n:
+            raise RoutingError(f"site {site.sid} outside shared tables (n={shared.n})")
+        self.site = site
+        self.total_phases = total_phases
+        self.on_done = on_done
+        self.shared = shared
+        self.table = LazyRoutingTable(shared, site.sid)
+        self.phase = 1
+        self.done = False
+        #: protocol-cost counters, zero by construction (nothing is sent)
+        self.messages_sent = 0
+        self.lines_sent = 0
+
+    def start(self) -> None:
+        """Install the precomputed row views and finish immediately."""
+        # Rebind the per-site dicts to shared row views: O(1) per site
+        # instead of an O(known destinations) dict copy per site.
+        self.site.next_hop = NextHopView(self.shared, self.site.sid)
+        self.site.known_distance = DistanceView(self.shared, self.site.sid)
+        self.phase = self.total_phases
+        self.done = True
+        self.site.trace(
+            "routing.done",
+            phase=self.phase,
+            routes=len(self.table),
+            messages=self.messages_sent,
+        )
+        if self.on_done is not None:
+            self.on_done()
+
+
+def oracle_routing_factory(shared_by_phases: Dict[int, SharedTables]):
+    """A site-level routing factory over per-phase-budget shared tables.
+
+    ``shared_by_phases`` maps a phase budget to the
+    :class:`SharedTables` built for it (RTDS sites ask for ``2h``,
+    global-routing baselines for the hop diameter). The returned callable
+    has the ``(site, total_phases, on_done=None)`` shape
+    :class:`~repro.core.rtds.RTDSSite` and the baseline sites expect.
+    """
+
+    def factory(site, total_phases: int, on_done=None) -> OracleRouting:
+        try:
+            shared = shared_by_phases[total_phases]
+        except KeyError:
+            raise RoutingError(
+                f"no shared tables prepared for phase budget {total_phases} "
+                f"(have: {sorted(shared_by_phases)})"
+            ) from None
+        return OracleRouting(site, total_phases, shared, on_done)
+
+    return factory

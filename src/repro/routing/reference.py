@@ -15,7 +15,7 @@ Implemented over plain adjacency dicts so they also work on
 from __future__ import annotations
 
 import heapq
-from typing import Dict, Mapping, Optional, Tuple
+from typing import Dict, Mapping, Tuple
 
 from repro.types import SiteId, Time
 
@@ -55,7 +55,6 @@ def hop_bounded_distances(
     """
     dist: Dict[SiteId, Time] = {src: 0.0}
     bfs: Dict[SiteId, int] = {src: 0}
-    frontier = {src}
     prev = dict(dist)
     for phase in range(1, max_hops + 1):
         nxt: Dict[SiteId, Time] = dict(prev)

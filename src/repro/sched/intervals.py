@@ -15,8 +15,8 @@ All comparisons use the shared EPS tolerance so adjacent reservations
 
 from __future__ import annotations
 
-from bisect import bisect_left, bisect_right, insort
-from dataclasses import dataclass, field
+from bisect import bisect_left, bisect_right
+from dataclasses import dataclass
 from typing import Iterator, List, Optional, Tuple
 
 from repro.errors import SchedulingError

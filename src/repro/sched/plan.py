@@ -10,11 +10,11 @@ the surplus of an empty site exactly 1.0 as the worked example assumes
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional
 
 from repro.errors import SchedulingError
 from repro.sched.intervals import BusyTimeline, Reservation
-from repro.types import EPS, JobId, SiteId, TaskId, Time
+from repro.types import EPS, JobId, SiteId, Time
 
 
 class SchedulingPlan:

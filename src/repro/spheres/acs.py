@@ -15,7 +15,7 @@ remain truthful until EXECUTE/UNLOCK — see DESIGN.md "Lock semantics".
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Deque, Dict, List, Optional, Set, Tuple
 
 from repro.errors import ProtocolError

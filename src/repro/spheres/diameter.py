@@ -11,7 +11,7 @@ initiator, which keeps the estimate an over-estimate (safe direction).
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Optional
+from typing import List, Mapping, Optional
 
 from repro.types import SiteId, Time
 

@@ -58,9 +58,18 @@ class PCS:
 
 
 def build_pcs(table: RoutingTable, h: int) -> PCS:
-    """Derive PCS membership from a finished routing table."""
+    """Derive PCS membership from a finished routing table.
+
+    Tables that know how to build their sphere sparsely (the lazy
+    array-backed tables of :mod:`repro.routing.oracle`) are delegated to:
+    their ``pcs(h)`` touches only sites within the radius instead of
+    walking every table entry. Both paths produce identical spheres.
+    """
     if h < 1:
         raise RoutingError(f"PCS radius h must be >= 1, got {h}")
+    sparse = getattr(table, "pcs", None)
+    if sparse is not None:
+        return sparse(h)
     root = table.owner
     members = [d for d in table.within_phase(h) if d != root]
     distance = {d: table.entry(d).distance for d in members}

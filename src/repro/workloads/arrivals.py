@@ -7,7 +7,7 @@ the standard model for open real-time workloads, vectorised with numpy.
 
 from __future__ import annotations
 
-from typing import List, Sequence, Tuple
+from typing import List, Tuple
 
 import numpy as np
 

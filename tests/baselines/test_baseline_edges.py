@@ -1,12 +1,10 @@
 """Edge-path tests for baselines and the remaining CLI command."""
 
-import pytest
 
 from repro.baselines.centralized import CentralizedSite
 from repro.baselines.focused import FocusedSite
 from repro.core.events import JobOutcome
 from repro.graphs.generators import linear_chain_dag, paper_example_dag
-from repro.metrics.collector import MetricsCollector
 from repro.routing.reference import dijkstra, hop_diameter
 from repro.simnet.engine import Simulator
 from repro.simnet.topology import build_network, complete

@@ -1,6 +1,5 @@
 """Tests for the baseline schedulers."""
 
-import pytest
 
 from repro.baselines.centralized import CentralizedSite
 from repro.baselines.focused import FocusedSite

@@ -4,7 +4,6 @@ import pytest
 
 from repro.core.local_test import blazewicz_windows, local_guarantee_test
 from repro.core.validation import compute_permutation, endorse_mapping
-from repro.graphs.dag import Dag, Task
 from repro.graphs.generators import linear_chain_dag, paper_example_dag
 from repro.sched.intervals import BusyTimeline, Reservation
 

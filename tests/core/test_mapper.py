@@ -5,7 +5,6 @@ import pytest
 from repro.core.mapper import build_trial_mapping
 from repro.core.trial_mapping import LogicalProcSpec
 from repro.errors import MappingError
-from repro.graphs.dag import Dag, Task
 from repro.graphs.generators import (
     fork_join_dag,
     linear_chain_dag,

@@ -6,7 +6,6 @@ a finished session — the initiator must answer with UNLOCK or the member's
 lock leaks forever. These tests pin that recovery path down.
 """
 
-import pytest
 
 from repro.core.config import RTDSConfig
 from repro.core.events import JobOutcome

@@ -1,6 +1,5 @@
 """End-to-end protocol tests for RTDSSite on live simulated networks."""
 
-import pytest
 
 from repro.core.config import RTDSConfig
 from repro.core.events import JobOutcome

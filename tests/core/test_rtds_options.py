@@ -8,11 +8,11 @@ from repro.core.config import RTDSConfig
 from repro.core.events import JobOutcome
 from repro.core.rtds import RTDSSite
 from repro.experiments.runner import ExperimentConfig, run_experiment
-from repro.experiments.verify import assert_sound, verify_execution
+from repro.experiments.verify import assert_sound
 from repro.graphs.generators import linear_chain_dag, paper_example_dag
 from repro.metrics.collector import MetricsCollector
 from repro.simnet.engine import Simulator
-from repro.simnet.topology import build_network, complete, torus, random_geometric
+from repro.simnet.topology import build_network, complete, torus
 from repro.simnet.trace import Tracer
 
 SMALL = ExperimentConfig(

@@ -4,7 +4,6 @@ from dataclasses import replace
 
 import pytest
 
-from repro.core.config import RTDSConfig
 from repro.errors import ConfigError
 from repro.experiments.evaluation import (
     sweep_ablations,

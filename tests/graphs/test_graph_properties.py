@@ -11,7 +11,7 @@ from repro.graphs.analysis import (
     longest_path_task_count,
     top_levels,
 )
-from repro.graphs.dag import Dag, Task
+from repro.graphs.dag import Dag
 from repro.graphs.generators import layered_dag, random_dag
 from repro.graphs.serialization import dag_from_json, dag_to_json
 

@@ -98,7 +98,6 @@ class TestScatterGather:
 class TestEndToEnd:
     def test_workflows_through_rtds(self):
         """All four families run through the full protocol soundly."""
-        from dataclasses import replace
 
         from repro.experiments.runner import ExperimentConfig, run_experiment
         from repro.experiments.verify import assert_sound

@@ -2,7 +2,6 @@
 
 import math
 
-import pytest
 
 from repro.experiments.paper_example import run_fig1_scenario
 from repro.metrics.latency import mean_phase_breakdown, phase_latencies

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import RoutingError
-from repro.routing.table import RouteEntry, RoutingTable
+from repro.routing.table import RoutingTable
 
 
 class TestRoutingTable:

@@ -6,7 +6,6 @@ from repro.errors import SchedulingError
 from repro.sched.executor import PlanExecutor
 from repro.sched.intervals import Reservation
 from repro.sched.plan import SchedulingPlan
-from repro.simnet.engine import Simulator
 
 
 @pytest.fixture

@@ -37,10 +37,6 @@ class TestLLFOrder:
         tl.reserve(Reservation(0.0, 4.0, 9, "bg1"))
         tl.reserve(Reservation(6.0, 14.0, 9, "bg2"))
         # gaps: [4,6) and [14, inf)
-        tasks = [
-            wt("loose", 2.0, 0.0, 16.0),   # EDF-first? deadline 16
-            wt("tight", 2.0, 3.0, 6.5),    # deadline 6.5 -> EDF places first
-        ]
         # construct the adversarial case for LLF superiority the other way:
         tasks_bad_for_edf = [
             wt("early_loose", 2.0, 0.0, 7.0),   # deadline 7, laxity 5
@@ -89,7 +85,6 @@ class TestEndorseWithOrder:
 
 class TestEndToEndLLF:
     def test_rtds_llf_run_sound(self):
-        from dataclasses import replace
 
         from repro.experiments.runner import ExperimentConfig, run_experiment
         from repro.experiments.verify import assert_sound

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.errors import SchedulingError
-from repro.graphs.dag import Dag, Task
 from repro.graphs.generators import linear_chain_dag, paper_example_dag
 from repro.sched.feasibility import (
     WindowTask,

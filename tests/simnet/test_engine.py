@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import SimulationError
-from repro.simnet.engine import PRIORITY_DELIVERY, PRIORITY_LATE, PRIORITY_NORMAL, Simulator
+from repro.simnet.engine import PRIORITY_DELIVERY, PRIORITY_LATE, PRIORITY_NORMAL
 
 
 class TestScheduling:

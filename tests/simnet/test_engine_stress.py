@@ -1,6 +1,5 @@
 """Engine stress and ordering-law property tests."""
 
-import heapq
 
 import numpy as np
 import pytest

@@ -146,7 +146,7 @@ class TestTracingFastPath:
 
     def test_disabled_tracer_emits_nothing_from_transmit(self):
         net = Network(Simulator())
-        build2 = [PlainSite(i, net) for i in range(2)]
+        [PlainSite(i, net) for i in range(2)]
         net.add_link(0, 1, 1.0)
         net.send_adjacent(0, 1, "PING")
         assert len(net.tracer.events) == 0

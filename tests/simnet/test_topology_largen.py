@@ -1,0 +1,96 @@
+"""Topology generators at wide-network scale.
+
+E10 runs 256-1024-site graphs; these tests pin the generator properties
+the campaign relies on at a representative large n: connectivity,
+per-seed determinism, and the degree-distribution shapes that
+distinguish the two E10 families (bounded-degree geometric vs
+heavy-tailed scale-free).
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.experiments.widenet import widenet_topology
+from repro.simnet.topology import (
+    barabasi_albert,
+    erdos_renyi,
+    random_geometric,
+    topology_factory,
+    watts_strogatz,
+)
+
+N = 512
+
+
+def _degrees(topo):
+    deg = np.zeros(topo.n, dtype=int)
+    for u, v, _ in topo.edges:
+        deg[u] += 1
+        deg[v] += 1
+    return deg
+
+
+GENERATORS = {
+    "geometric": lambda rng: random_geometric(N, float(np.sqrt(8.0 / (np.pi * N))), rng),
+    "barabasi_albert": lambda rng: barabasi_albert(N, 3, rng),
+    "erdos_renyi": lambda rng: erdos_renyi(N, 8.0 / (N - 1), rng),
+    "watts_strogatz": lambda rng: watts_strogatz(N, 6, 0.2, rng),
+}
+
+
+@pytest.mark.parametrize("kind", sorted(GENERATORS), ids=str)
+class TestLargeN:
+    def test_connected_at_large_n(self, kind):
+        topo = GENERATORS[kind](np.random.default_rng(0))
+        assert topo.n == N
+        assert topo.is_connected()
+
+    def test_deterministic_per_seed(self, kind):
+        a = GENERATORS[kind](np.random.default_rng(7))
+        b = GENERATORS[kind](np.random.default_rng(7))
+        assert a.edges == b.edges
+        c = GENERATORS[kind](np.random.default_rng(8))
+        assert c.edges != a.edges
+
+    def test_strictly_positive_delays(self, kind):
+        topo = GENERATORS[kind](np.random.default_rng(3))
+        assert all(d > 0 for _, _, d in topo.edges)
+
+
+class TestDegreeShapes:
+    def test_geometric_degrees_are_bounded(self):
+        """Geometric graphs have no hubs: max degree stays within a small
+        multiple of the mean, which is what keeps E10 spheres local."""
+        deg = _degrees(GENERATORS["geometric"](np.random.default_rng(1)))
+        assert 5.0 <= deg.mean() <= 12.0  # targeting ~8
+        assert deg.max() <= 4 * deg.mean()
+
+    def test_barabasi_albert_has_heavy_tail(self):
+        """Scale-free graphs concentrate degree in hubs: the max degree is
+        many times the mean, and low-degree sites dominate the mass."""
+        deg = _degrees(GENERATORS["barabasi_albert"](np.random.default_rng(1)))
+        assert deg.min() >= 3  # every site attaches with m=3 links
+        assert deg.max() >= 5 * deg.mean()
+        assert (deg <= 2 * 3).sum() >= 0.5 * N  # most sites stay near m
+
+    def test_barabasi_albert_mean_degree_tracks_m(self):
+        deg = _degrees(GENERATORS["barabasi_albert"](np.random.default_rng(2)))
+        # ~m edges per added site -> mean degree ~2m
+        assert 2 * 3 - 1.0 <= deg.mean() <= 2 * 3 + 1.0
+
+
+class TestWidenetPresets:
+    @pytest.mark.parametrize("n", [256, 512, 1024])
+    def test_geometric_preset_holds_mean_degree(self, n):
+        name, kwargs = widenet_topology("geometric", n)
+        topo = topology_factory(name, rng=np.random.default_rng(0), **kwargs)
+        deg = _degrees(topo)
+        assert topo.is_connected()
+        assert 5.0 <= deg.mean() <= 12.0, f"n={n}: mean degree {deg.mean():.1f}"
+
+    def test_unknown_kind_and_tiny_n_rejected(self):
+        with pytest.raises(ConfigError):
+            widenet_topology("smallworld", 256)
+        with pytest.raises(ConfigError):
+            widenet_topology("geometric", 4)

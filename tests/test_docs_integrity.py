@@ -69,7 +69,7 @@ class TestExperimentsMd:
     def test_every_sweep_entry_has_a_cli_line(self):
         """Each E1–E8 artifact must carry the exact line that reproduces it."""
         text = read("EXPERIMENTS.md")
-        for exp in ("E1", "E1b", "E2", "E3", "E4", "E5", "E6", "E7", "E8"):
+        for exp in ("E1", "E1b", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10"):
             assert re.search(rf"### {re.escape(exp)} —", text), f"missing entry {exp}"
         # every experiment entry is followed by a runnable command line
         entries = re.split(r"### ", text)[1:]
@@ -83,6 +83,13 @@ class TestExperimentsMd:
     def test_e8_links_its_bench(self):
         text = read("EXPERIMENTS.md")
         assert "bench_e8_scaling.py" in text
+
+    def test_e10_entry_names_gate_and_cli(self):
+        """E10 must document its committed baseline gate and the campaign CLI."""
+        text = read("EXPERIMENTS.md")
+        assert "bench_e10_widenet.py" in text
+        assert "BENCH_e10.json" in text
+        assert "rtds sweep-widenet" in text
 
 
 class TestReadme:

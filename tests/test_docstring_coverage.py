@@ -10,7 +10,6 @@ import importlib
 import inspect
 import pkgutil
 
-import pytest
 
 PACKAGES = ("repro.experiments", "repro.faults")
 

@@ -1,6 +1,5 @@
 """Tests for the actual-execution Gantt rendering."""
 
-from dataclasses import replace
 
 import pytest
 
