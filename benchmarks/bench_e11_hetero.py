@@ -1,0 +1,254 @@
+"""E11 — heterogeneous sites × trace workloads (and the GR-drift gate).
+
+Two measurements, both fully deterministic:
+
+* **cells** — full E11 campaign cells (`repro.experiments.hetero`):
+  seeded RTDS runs crossing speed profiles (``uniform``, ``skew:2``,
+  ``skew:4`` — mean speed pinned at 1.0 so only *imbalance* varies) with
+  workload families (synthetic mix, Montage trace, Epigenomics trace),
+  reporting guarantee ratio, effective ratio, job count and wall seconds.
+* **differential** — the uniform anchor run twice: once on the default
+  homogeneous path (``site_speeds=None``) and once through the full
+  heterogeneity machinery with an explicit all-1.0 vector
+  (``site_speeds="uniform:1.0"``). Every scalar metric must match
+  *exactly* — the speed threading must be invisible when speeds are
+  uniform. This is the same contract the ``tests/identity`` goldens pin,
+  gated here on every perf run.
+
+``--check BENCH_e11.json`` fails when a cell's guarantee ratio drifts
+from the committed baseline by more than ``--gr-tolerance`` (determinism
+erosion, not noise — the workload is seeded; wall times are
+machine-dependent and never gated), or when the differential check
+breaks.
+
+Standalone (CI) usage::
+
+    PYTHONPATH=src python benchmarks/bench_e11_hetero.py --out BENCH_e11.json
+    PYTHONPATH=src python benchmarks/bench_e11_hetero.py --check BENCH_e11.json
+
+Under pytest (``pytest benchmarks/ --benchmark-only``) a smoke subset
+runs once and the table lands in ``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+from dataclasses import replace
+from typing import Dict, List, Sequence
+
+from repro.experiments.hetero import E11_SPEEDS, E11_WORKLOADS, hetero_config
+from repro.experiments.runner import run_experiment
+from repro.metrics.summary import scalars_equal
+from repro.simnet.speeds import split_speed_specs
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
+
+
+def run_cell(speed_spec: str, workload: str, seed: int = 0) -> Dict[str, float]:
+    """One full E11 cell: seeded heterogeneous RTDS run, end to end."""
+    row, _ = _run_cell_with_scalars(speed_spec, workload, seed)
+    return row
+
+
+def _run_cell_with_scalars(speed_spec: str, workload: str, seed: int = 0):
+    """One cell's table row plus the run's scalar metrics (for reuse)."""
+    cfg = hetero_config(speed_spec, workload, seed=seed)
+    t0 = time.perf_counter()
+    res = run_experiment(cfg)
+    wall = time.perf_counter() - t0
+    # capacity-weighted work actually executed (busy × speed summed over
+    # sites) — mean-normalised profiles should keep this roughly flat
+    # across skew levels while per-site loads diverge
+    work = sum(res.site_work(0.0, float(res.network.sim.now)).values())
+    row = {
+        "jobs": float(res.summary.n_jobs),
+        "guarantee_ratio": res.summary.guarantee_ratio,
+        "effective_ratio": res.summary.effective_ratio,
+        "messages_per_job": res.summary.messages_per_job,
+        "work_executed": work,
+        "wall_seconds": wall,
+    }
+    return row, res.scalar_metrics()
+
+
+def run_differential(seed: int = 0, default: Dict[str, float] = None) -> Dict[str, object]:
+    """Uniform anchor: default path vs explicit all-1.0 speed vector.
+
+    Returns the two scalar-metric dicts and whether they match exactly —
+    bit-for-bit, no tolerance (determinism means the same floats).
+    ``default`` optionally supplies the anchor run's already-measured
+    scalar metrics so the cell matrix's uniform|synthetic run is reused
+    instead of repeated.
+    """
+    base = hetero_config("uniform", "synthetic", seed=seed)
+    if default is None:
+        default = run_experiment(base).scalar_metrics()
+    explicit = run_experiment(replace(base, site_speeds="uniform:1.0")).scalar_metrics()
+    return {
+        # NaN-aware exact equality: an absent-mean metric (NaN on both
+        # sides) is identical, every other float must match bit-for-bit
+        "identical": scalars_equal(default, explicit),
+        "default": default,
+        "explicit_uniform": explicit,
+    }
+
+
+def measure(
+    speeds: Sequence[str] = E11_SPEEDS,
+    workloads: Sequence[str] = E11_WORKLOADS,
+    seed: int = 0,
+) -> Dict[str, Dict]:
+    """The full E11 measurement: the cell matrix + the differential check."""
+    cells: Dict[str, Dict[str, float]] = {}
+    anchor_scalars = None
+    for spec in speeds:
+        for workload in workloads:
+            row, scalars = _run_cell_with_scalars(spec, workload, seed=seed)
+            cells[f"{spec}|{workload}"] = row
+            if spec == "uniform" and workload == "synthetic":
+                anchor_scalars = scalars  # reused as the differential's default side
+    return {"cells": cells, "differential": run_differential(seed=seed, default=anchor_scalars)}
+
+
+def render(results: Dict[str, Dict]) -> str:
+    """Human-readable tables of one measurement."""
+    lines = ["cell                             jobs    GR      effGR   msg/job     work  wall(s)"]
+    for name, c in results["cells"].items():
+        lines.append(
+            f"{name:<30} {int(c['jobs']):>6}  {c['guarantee_ratio']:.4f}  "
+            f"{c['effective_ratio']:.4f}  {c['messages_per_job']:>7.2f}  "
+            f"{c['work_executed']:>7.0f}  {c['wall_seconds']:>7.2f}"
+        )
+    diff = results["differential"]
+    lines.append("")
+    lines.append(
+        "differential (default vs explicit uniform speeds): "
+        + ("IDENTICAL" if diff["identical"] else "DIVERGED")
+    )
+    return "\n".join(lines)
+
+
+def check_regression(
+    results: Dict[str, Dict],
+    baseline_path: pathlib.Path,
+    gr_tolerance: float,
+) -> int:
+    """Gate the measurement against the committed baseline.
+
+    Fails (returns 1) when any cell's guarantee ratio drifts beyond
+    ``gr_tolerance`` from the baseline, or when the uniform differential
+    check is not bit-for-bit identical.
+    """
+    baseline = json.loads(baseline_path.read_text())
+    failures: List[str] = []
+    if not results["differential"]["identical"]:
+        failures.append(
+            "uniform differential check diverged: explicit site_speeds='uniform:1.0' "
+            "no longer matches the default homogeneous path"
+        )
+    base_cells = baseline["scenarios"]["cells"]
+    for name, c in results["cells"].items():
+        if name in base_cells:
+            drift = abs(c["guarantee_ratio"] - base_cells[name]["guarantee_ratio"])
+            if drift > gr_tolerance:
+                failures.append(
+                    f"cell {name}: GR {c['guarantee_ratio']:.4f} vs baseline "
+                    f"{base_cells[name]['guarantee_ratio']:.4f} (drift {drift:.4f})"
+                )
+    # A gate that only checks the intersection passes vacuously when the
+    # axes were renamed or subset — every baseline cell must be measured.
+    unmeasured = sorted(set(base_cells) - set(results["cells"]))
+    if unmeasured:
+        failures.append(
+            f"baseline cells not measured (axes changed without regenerating "
+            f"{baseline_path.name}, or --speeds/--workloads subset a --check run): "
+            + ", ".join(unmeasured)
+        )
+    if failures:
+        for f in failures:
+            print(f"E11 REGRESSION: {f}", file=sys.stderr)
+        return 1
+    print(f"e11 ok: {len(results['cells'])} cells within GR tolerance {gr_tolerance}; "
+          "uniform differential identical")
+    return 0
+
+
+def write_json(results: Dict[str, Dict], path: pathlib.Path, gr_tolerance: float) -> None:
+    """Persist one measurement as the committed-baseline JSON shape."""
+    path.write_text(
+        json.dumps(
+            {
+                "bench": "e11_hetero",
+                "gate": {"gr_tolerance": gr_tolerance},
+                "scenarios": results,
+            },
+            indent=2,
+            sort_keys=True,
+        )
+        + "\n"
+    )
+
+
+# -- pytest entry point ------------------------------------------------------
+
+
+def test_e11_hetero(benchmark, emit):
+    """Smoke subset: uniform + skew:4 across synthetic + montage."""
+    from benchmarks.conftest import once
+
+    results = once(
+        benchmark,
+        measure,
+        speeds=("uniform", "skew:4"),
+        workloads=("synthetic", "trace:montage"),
+    )
+    emit("e11_hetero", render(results))
+    assert results["differential"]["identical"]
+    for name, cell in results["cells"].items():
+        assert cell["guarantee_ratio"] > 0.3, name
+    # the homogeneous anchor must dominate its skewed counterpart's GR
+    # within each workload family is *not* asserted — heterogeneity can
+    # occasionally help a lucky seed; the committed baseline gates drift.
+
+
+def main(argv=None) -> int:
+    """CLI entry: measure, render, optionally write/gate the baseline."""
+    parser = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
+    parser.add_argument("--speeds", default=None, help="profiles, e.g. uniform,skew:2,skew:4")
+    parser.add_argument(
+        "--workloads", default=None, help="families, e.g. synthetic,trace:montage"
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--out", type=pathlib.Path, default=None, help="write BENCH_e11.json here")
+    parser.add_argument(
+        "--check", type=pathlib.Path, default=None,
+        help="baseline BENCH_e11.json to gate against",
+    )
+    parser.add_argument(
+        "--gr-tolerance", type=float, default=0.02,
+        help="max |GR - baseline GR| per cell before --check fails",
+    )
+    args = parser.parse_args(argv)
+    # profile-aware split: commas inside "tiers:1,2,4" stay attached
+    speeds = split_speed_specs(args.speeds) if args.speeds else E11_SPEEDS
+    workloads = (
+        tuple(w.strip() for w in args.workloads.split(",") if w.strip())
+        if args.workloads
+        else E11_WORKLOADS
+    )
+    results = measure(speeds=speeds, workloads=workloads, seed=args.seed)
+    print(render(results))
+    if args.out is not None:
+        write_json(results, args.out, args.gr_tolerance)
+        print(f"wrote {args.out}")
+    if args.check is not None:
+        return check_regression(results, args.check, args.gr_tolerance)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -12,9 +12,10 @@ Public API map:
 * :mod:`repro.baselines` — local-only / centralized / focused-addressing /
   random-offload comparators;
 * :mod:`repro.workloads`, :mod:`repro.metrics`, :mod:`repro.experiments` —
-  sporadic workload generation, measurement, and the E1–E8 harness,
-  including the parallel campaign runtime with its resumable result
-  store (:mod:`repro.experiments.parallel`);
+  sporadic workload generation (synthetic mixes and trace-driven workflow
+  streams, :mod:`repro.workloads.traces`), measurement, and the E1–E11
+  harness, including the parallel campaign runtime with its resumable
+  result store (:mod:`repro.experiments.parallel`);
 * :mod:`repro.faults` — fault injection (link/site outages, message loss,
   delay jitter) with deterministic seeded churn;
 * :mod:`repro.viz` — ASCII Gantt/DAG rendering.

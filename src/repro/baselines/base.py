@@ -51,10 +51,9 @@ class BaselineSite(SiteBase):
         mgmt_overhead: Time = 0.0,
         routing_factory=None,
     ) -> None:
-        super().__init__(sid, network, mgmt_overhead)
-        self.speed = speed
+        super().__init__(sid, network, mgmt_overhead, speed=speed)
         self.metrics = metrics
-        self.plan = SchedulingPlan(sid, surplus_window)
+        self.plan = SchedulingPlan(sid, surplus_window, speed=speed)
         self.executor = PlanExecutor(network.sim, self.plan)
         if metrics is not None and hasattr(metrics, "on_task_complete"):
             self.executor.on_complete.append(metrics.on_task_complete)

@@ -67,6 +67,10 @@ class FocusedSite(BaselineSite):
         self.bid_wait = bid_wait
         #: latest known surplus per origin site (stale by design)
         self.known_surplus: Dict[SiteId, float] = {}
+        #: latest known computing power per origin site (§13 heterogeneity;
+        #: speeds are static, but flooding them with the surplus keeps the
+        #: scheme honest — a site only knows what was broadcast to it)
+        self.known_speed: Dict[SiteId, float] = {}
         #: flooding dedup: highest sequence seen per origin
         self._seen_seq: Dict[SiteId, int] = {}
         self._seq = 0
@@ -88,7 +92,12 @@ class FocusedSite(BaselineSite):
     def _periodic_broadcast(self) -> None:
         self._seq += 1
         self._flood(
-            {"origin": self.sid, "seq": self._seq, "surplus": self.plan.surplus(self.now)},
+            {
+                "origin": self.sid,
+                "seq": self._seq,
+                "surplus": self.plan.surplus(self.now),
+                "speed": self.speed,
+            },
             exclude=None,
         )
         self.sim.schedule(self.broadcast_period, self._periodic_broadcast)
@@ -105,6 +114,8 @@ class FocusedSite(BaselineSite):
             return
         self._seen_seq[origin] = seq
         self.known_surplus[origin] = msg.payload["surplus"]
+        # pre-heterogeneity senders omit "speed"; treat them as unit speed
+        self.known_speed[origin] = msg.payload.get("speed", 1.0)
         self._flood(msg.payload, exclude=msg.src)
 
     # -- job flow ------------------------------------------------------------
@@ -120,10 +131,17 @@ class FocusedSite(BaselineSite):
         self._start_focused(ctx)
 
     def _candidates(self) -> List[SiteId]:
-        """Known sites by descending (stale) surplus."""
+        """Known sites by descending (stale) effective capacity.
+
+        The ranking weight is ``surplus × speed`` — the idle *work rate*
+        a candidate offers, not its idle fraction. On a homogeneous
+        network (every speed 1.0) this is exactly the historical
+        surplus-only order; with heterogeneous sites, a half-idle speed-4
+        site correctly outranks a fully idle speed-1 one.
+        """
         return sorted(
             (s for s in self.known_surplus if s != self.sid),
-            key=lambda s: (-self.known_surplus[s], s),
+            key=lambda s: (-self.known_surplus[s] * self.known_speed.get(s, 1.0), s),
         )
 
     def _start_focused(self, ctx: BaselineJobCtx) -> None:
@@ -151,7 +169,8 @@ class FocusedSite(BaselineSite):
             {
                 "job": msg.payload["job"],
                 "site": self.sid,
-                "surplus": self.plan.surplus(self.now),
+                # a bid is fresh effective capacity: surplus × speed
+                "surplus": self.plan.surplus(self.now) * self.speed,
             },
             size=2.0,
         )

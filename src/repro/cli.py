@@ -11,6 +11,7 @@
     rtds sweep-size --algorithms rtds,focused --sizes 16,36,64
     rtds sweep-faults --losses 0.0,0.05,0.15,0.3 --runs 3 --jobs 2 --store results/store --resume
     rtds sweep-widenet --sizes 256,512,1024 --kinds geometric,barabasi_albert --jobs 4
+    rtds sweep-hetero --speeds uniform,skew:4 --workloads synthetic,trace:montage --jobs 4
     rtds run --sites 512 --routing oracle      # vectorized setup, no simulated routing
 
 ``campaign`` and ``sweep-faults`` run through the parallel campaign
@@ -290,6 +291,35 @@ def _cmd_sweep_widenet(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_sweep_hetero(args: argparse.Namespace) -> int:
+    from repro.experiments.hetero import sweep_hetero
+    from repro.simnet.speeds import split_speed_specs
+
+    base = _base_config(args)
+    workloads = [w.strip() for w in args.workloads.split(",") if w.strip()]
+    try:
+        # profile-aware split: commas inside "tiers:1,2,4" stay attached
+        speed_specs = split_speed_specs(args.speeds)
+        rows = sweep_hetero(
+            base=base,
+            speed_specs=speed_specs,
+            workloads=workloads,
+            seeds=range(args.seed, args.seed + args.runs),
+            executor=args.jobs,
+            store=_campaign_store(args, "sweep-hetero"),
+            resume=args.resume,
+            progress=_progress_printer(),
+            n_sites=args.sites,
+        )
+    except CampaignCellError as err:
+        return _report_cell_failures(err, has_store=bool(args.store))
+    except ConfigError as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 1
+    print(format_table(rows, title="E11: guarantee ratio vs speed skew x workload family"))
+    return 0
+
+
 def _cmd_sweep_load(args: argparse.Namespace) -> int:
     cfg = _base_config(args)
     algos = args.algorithms.split(",")
@@ -413,6 +443,26 @@ def build_parser() -> argparse.ArgumentParser:
     p_wn.add_argument("--runs", type=int, default=1, help="seeds per (kind, size) cell")
     runtime(p_wn)
 
+    p_he = sub.add_parser(
+        "sweep-hetero",
+        help="E11 heterogeneous-sites campaign (speed profiles x trace workloads)",
+    )
+    common(p_he)
+    # E11's own cell preset: the flag-less CLI run addresses the same
+    # cells as benchmarks/bench_e11_hetero.py; --sites/--rho/--duration/
+    # --laxity still work and reshape the cells like on any subcommand
+    p_he.set_defaults(sites=24, duration=240.0)
+    p_he.add_argument(
+        "--speeds", default="uniform,skew:2,skew:4",
+        help="speed profiles (uniform, skew:K, tiers:a,b, lognormal:SIGMA)",
+    )
+    p_he.add_argument(
+        "--workloads", default="synthetic,trace:montage,trace:epigenomics",
+        help="workload families (synthetic, trace:<name>)",
+    )
+    p_he.add_argument("--runs", type=int, default=2, help="seeds per (profile, workload) cell")
+    runtime(p_he)
+
     p_sl = sub.add_parser("sweep-load", help="E1 load sweep")
     common(p_sl)
     p_sl.add_argument("--algorithms", default="rtds,local")
@@ -449,6 +499,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "sweep-ablations": _cmd_ablations,
         "sweep-faults": _cmd_sweep_faults,
         "sweep-widenet": _cmd_sweep_widenet,
+        "sweep-hetero": _cmd_sweep_hetero,
     }
     return commands[args.command](args)
 

@@ -84,11 +84,10 @@ class RTDSSite(SiteBase):
         mgmt_overhead: Time = 0.0,
         routing_factory=None,
     ) -> None:
-        super().__init__(sid, network, mgmt_overhead)
+        super().__init__(sid, network, mgmt_overhead, speed=speed)
         self.config = config
-        self.speed = speed
         self.metrics = metrics
-        self.plan = SchedulingPlan(sid, config.surplus_window)
+        self.plan = SchedulingPlan(sid, config.surplus_window, speed=speed)
         self.executor = PlanExecutor(network.sim, self.plan)
         self.executor.on_complete.append(self._on_task_complete)
         if metrics is not None and hasattr(metrics, "on_task_complete"):

@@ -18,6 +18,8 @@
 * :mod:`repro.experiments.widenet` — the E10 wide-network scale-out
   campaign (256-1024+ sites over geometric and scale-free topologies,
   oracle routing back end);
+* :mod:`repro.experiments.hetero` — the E11 heterogeneity campaign
+  (per-site speed profiles × trace-driven workflow workloads);
 * :mod:`repro.experiments.reporting` — plain-text tables.
 """
 
@@ -56,6 +58,12 @@ from repro.experiments.widenet import (
     sweep_widenet,
     widenet_config,
 )
+from repro.experiments.hetero import (
+    E11_SPEEDS,
+    E11_WORKLOADS,
+    hetero_config,
+    sweep_hetero,
+)
 
 __all__ = [
     "Aggregate",
@@ -80,6 +88,10 @@ __all__ = [
     "E10_SIZES",
     "sweep_widenet",
     "widenet_config",
+    "E11_SPEEDS",
+    "E11_WORKLOADS",
+    "hetero_config",
+    "sweep_hetero",
     "PAPER_DEADLINE",
     "PAPER_OMEGA",
     "PAPER_SURPLUSES",

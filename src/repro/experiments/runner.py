@@ -31,7 +31,7 @@ from repro.baselines.random_offload import RandomOffloadSite
 from repro.core.config import RTDSConfig
 from repro.core.events import JobOutcome, JobRecord
 from repro.core.rtds import RTDSSite
-from repro.errors import ConfigError
+from repro.errors import ConfigError, WorkloadError
 from repro.faults.injector import FaultInjector
 from repro.faults.plan import FaultPlan
 from repro.metrics.collector import MetricsCollector
@@ -46,6 +46,7 @@ from repro.routing.vectorized import (
 )
 from repro.simnet.engine import Simulator
 from repro.simnet.network import Network
+from repro.simnet.speeds import resolve_site_speeds
 from repro.simnet.topology import Topology, build_network, topology_factory
 from repro.simnet.trace import Tracer
 from repro.workloads.jobs import Workload
@@ -87,6 +88,18 @@ class ExperimentConfig:
     hot_sites: int = 0
     #: heterogeneous speeds (§13 uniform machines); None = all 1.0
     speeds: Optional[List[float]] = None
+    #: declarative per-site speed profile (E11 heterogeneity): ``None``
+    #: (default, byte-identical homogeneous path), an explicit vector, or
+    #: a spec string — ``"uniform[:X]"``, ``"skew:K"``, ``"tiers:a,b"``,
+    #: ``"lognormal:SIGMA"`` (see :mod:`repro.simnet.speeds`). Resolved
+    #: against ``(n_sites, seed)`` and carried on the run's
+    #: :class:`~repro.simnet.topology.Topology`; takes precedence over the
+    #: legacy cyclic ``speeds`` list.
+    site_speeds: Optional[Any] = None
+    #: workload family: ``"synthetic"`` (the ``dag_size`` mixes) or
+    #: ``"trace:<name>"`` replaying a workflow trace from
+    #: :mod:`repro.workloads.traces` (E11). ``dag_factory`` overrides both.
+    workload: str = "synthetic"
     #: §13 data-volume model: finite link throughput (None = pure
     #: propagation delay) and per-task data volumes drawn from this range
     link_throughput: Optional[float] = None
@@ -123,6 +136,23 @@ class ExperimentConfig:
             raise ConfigError(
                 f"unknown routing_mode {self.routing_mode!r}; known: ('protocol', 'oracle')"
             )
+        if self.site_speeds is not None:
+            # validate the spec shape now — a campaign must reject a bad
+            # profile before shipping cells to workers (n=2 is a neutral
+            # probe; the real resolution happens against the topology)
+            resolve_site_speeds(self.site_speeds, 2, self.seed)
+        if self.workload != "synthetic":
+            from repro.workloads.traces import parse_workload
+
+            try:
+                parse_workload(self.workload)
+            except WorkloadError as err:
+                raise ConfigError(str(err)) from None
+            if self.dag_factory is not None:
+                raise ConfigError(
+                    f"workload={self.workload!r} and dag_factory are mutually "
+                    "exclusive (a custom factory already defines the job stream)"
+                )
         if (
             self.faults is not None
             and not self.faults.is_zero()
@@ -163,6 +193,19 @@ class RunResult:
             for sid, site in self.network.sites.items()
         }
 
+    def site_work(self, start: float, end: float) -> Dict[int, float]:
+        """Per-site executed *work* (busy time × speed) over ``[start, end]``.
+
+        The capacity-weighted companion of :meth:`site_utilizations`: on
+        heterogeneous networks (E11) two equally-busy sites deliver
+        different amounts of work, and this is the view that sums to the
+        complexity units actually executed.
+        """
+        return {
+            sid: site.plan.work_between(start, end)
+            for sid, site in self.network.sites.items()
+        }
+
     def scalar_metrics(self) -> Dict[str, float]:
         """Every numeric summary field as a plain JSON-able dict.
 
@@ -182,7 +225,14 @@ class RunResult:
         }
 
 
-def _speed_of(config: ExperimentConfig, sid: int) -> float:
+def _speed_of(config: ExperimentConfig, topo: Topology, sid: int) -> float:
+    """Per-site computing power of one run.
+
+    The topology-carried vector (resolved ``site_speeds``) wins; the
+    legacy cyclic ``speeds`` list is the fallback; 1.0 otherwise.
+    """
+    if topo.site_speeds is not None:
+        return topo.site_speeds[sid]
     if config.speeds is None:
         return 1.0
     return config.speeds[sid % len(config.speeds)]
@@ -230,7 +280,7 @@ def _make_sites(
 
         def factory(sid: int, net: Network) -> RTDSSite:
             return RTDSSite(
-                sid, net, rtds_cfg, speed=_speed_of(config, sid), metrics=metrics,
+                sid, net, rtds_cfg, speed=_speed_of(config, topo, sid), metrics=metrics,
                 routing_factory=routing_factory,
             )
 
@@ -239,7 +289,7 @@ def _make_sites(
         def factory(sid: int, net: Network) -> LocalOnlySite:
             return LocalOnlySite(
                 sid, net, surplus_window=config.surplus_window,
-                speed=_speed_of(config, sid), metrics=metrics,
+                speed=_speed_of(config, topo, sid), metrics=metrics,
                 routing_factory=routing_factory,
             )
 
@@ -249,7 +299,7 @@ def _make_sites(
             return CentralizedSite(
                 sid, net, routing_phases=global_phases, coordinator_id=0,
                 surplus_window=config.surplus_window,
-                speed=_speed_of(config, sid), metrics=metrics,
+                speed=_speed_of(config, topo, sid), metrics=metrics,
                 routing_factory=routing_factory,
             )
 
@@ -261,7 +311,7 @@ def _make_sites(
                 broadcast_period=config.focused_period,
                 bid_count=config.focused_bid_count,
                 surplus_window=config.surplus_window,
-                speed=_speed_of(config, sid), metrics=metrics,
+                speed=_speed_of(config, topo, sid), metrics=metrics,
                 routing_factory=routing_factory,
             )
 
@@ -272,7 +322,7 @@ def _make_sites(
                 sid, net, routing_phases=global_phases,
                 max_hops=config.random_max_hops, tries=config.random_tries,
                 seed=config.seed, surplus_window=config.surplus_window,
-                speed=_speed_of(config, sid), metrics=metrics,
+                speed=_speed_of(config, topo, sid), metrics=metrics,
                 routing_factory=routing_factory,
             )
 
@@ -310,6 +360,13 @@ def run_experiment(config: ExperimentConfig) -> RunResult:
 def _run_experiment(config: ExperimentConfig) -> RunResult:
     rng = np.random.default_rng(config.seed)
     topo = topology_factory(config.topology, rng=rng, **config.topology_kwargs)
+    # Resolve the heterogeneity profile once and carry it on the topology —
+    # the single source of truth every later consumer (site construction,
+    # workload calibration, post-run audits) reads. site_speeds=None keeps
+    # the topology untouched: the homogeneous path stays byte-identical.
+    site_speed_vec = resolve_site_speeds(config.site_speeds, topo.n, config.seed)
+    if site_speed_vec is not None:
+        topo = topo.with_site_speeds(site_speed_vec)
 
     sim = Simulator()
     tracer = Tracer(enabled=config.trace)
@@ -364,6 +421,11 @@ def _run_experiment(config: ExperimentConfig) -> RunResult:
 
     # --- phase 2: workload.
     dag_factory = config.dag_factory
+    if dag_factory is None and config.workload != "synthetic":
+        from repro.workloads.traces import parse_workload, trace_dag_factory
+
+        _, trace_name = parse_workload(config.workload)
+        dag_factory = trace_dag_factory(trace_name)
     if config.data_volume_range is not None:
         from repro.graphs.transform import with_volumes_factory
         from repro.workloads.scenarios import mixed_dag_factory
@@ -380,7 +442,7 @@ def _run_experiment(config: ExperimentConfig) -> RunResult:
         deadline_jitter=config.deadline_jitter,
         hot_fraction=config.hot_fraction,
         hot_sites=config.hot_sites,
-        capacities=[_speed_of(config, sid) for sid in range(topo.n)],
+        capacities=[_speed_of(config, topo, sid) for sid in range(topo.n)],
         seed=config.seed + 7,
     )
     workload = generate_workload(spec)

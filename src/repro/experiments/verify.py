@@ -9,7 +9,11 @@ of the protocol logic that scheduled it:
    execution, including the shortest-path transfer delay when predecessor
    and successor ran on different sites (with result forwarding on);
 3. every accepted job ran to completion (no orphaned guarantees);
-4. no task of a rejected job ever executed.
+4. no task of a rejected job ever executed;
+5. every executed task took exactly ``c(t) / speed`` of wall-clock
+   compute time on its host — the heterogeneity contract (§13 related
+   machines): a hard-coded WCET anywhere between admission and execution
+   would surface here the moment speeds diverge from 1.0.
 
 Returns a list of human-readable violation strings — empty means the run
 is sound. The integration tests call this on every algorithm; it has
@@ -34,7 +38,10 @@ def verify_execution(result, check_transfer_delays: bool = True) -> List[str]:
     # -- gather actual executions from every site's executor ----------------
     where: Dict[Key, SiteId] = {}
     window: Dict[Key, Tuple[float, float]] = {}  # (first start, last end)
+    compute_time: Dict[Key, float] = {}  # summed actual chunk durations
+    site_speed: Dict[SiteId, float] = {}
     for sid, site in net.sites.items():
+        site_speed[sid] = getattr(site, "speed", 1.0)
         executor = getattr(site, "executor", None)
         if executor is None:
             continue
@@ -47,6 +54,7 @@ def verify_execution(result, check_transfer_delays: bool = True) -> List[str]:
                     issues.append(f"task {key} executed on sites {where[key]} and {sid}")
                 where[key] = sid
                 window[key] = (rec.actual_start, rec.actual_end)
+                compute_time[key] = sum(e - s for (s, e) in rec.actual)
         # 1. single compute processor: chunks must not overlap
         chunks.sort()
         for (a_s, a_e, a_k), (b_s, b_e, b_k) in zip(chunks, chunks[1:]):
@@ -81,6 +89,16 @@ def verify_execution(result, check_transfer_delays: bool = True) -> List[str]:
                     f"{[k[1] for k in missing]}"
                 )
                 continue
+            # 5. speed-scaled durations: wall-clock compute == c / speed
+            for k in keys:
+                expected = dag.complexity(k[1]) / site_speed[where[k]]
+                got = compute_time[k]
+                if abs(got - expected) > 1e-6 * max(1.0, expected):
+                    issues.append(
+                        f"job {rec.job} task {k[1]!r}: executed for {got:.6f} on "
+                        f"site {where[k]} (speed {site_speed[where[k]]:g}) but "
+                        f"c/speed = {expected:.6f}"
+                    )
             for u, v in dag.edges:
                 ku, kv = (rec.job, u), (rec.job, v)
                 end_u = window[ku][1]

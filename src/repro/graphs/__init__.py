@@ -40,6 +40,7 @@ from repro.graphs.transform import (
     transitive_reduction,
 )
 from repro.graphs.workflows import (
+    epigenomics_dag,
     mapreduce_dag,
     montage_dag,
     pipeline_dag,
@@ -73,6 +74,7 @@ __all__ = [
     "reverse_dag",
     "transitive_reduction",
     "mapreduce_dag",
+    "epigenomics_dag",
     "montage_dag",
     "pipeline_dag",
     "scatter_gather_dag",

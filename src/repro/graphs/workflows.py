@@ -13,7 +13,10 @@ used by grid-scheduling evaluations — the application class the paper's
 * :func:`pipeline_dag` — S stages of W parallel workers with stage
   barriers (stream processing);
 * :func:`scatter_gather_dag` — D rounds of scatter/gather with shrinking
-  width (iterative refinement).
+  width (iterative refinement);
+* :func:`epigenomics_dag` — the USC Epigenomics shape: split → ``lanes``
+  independent per-lane stage chains → merge → final index (the layered
+  fan-out with *deep lanes* that Montage's shallow layers lack).
 """
 
 from __future__ import annotations
@@ -89,6 +92,38 @@ def montage_dag(
         edges.append((bgmodel, bgcorr[i]))
     edges += [(c, coadd) for c in bgcorr]
     return Dag(tasks, edges, name=f"montage-{tiles}")
+
+
+def epigenomics_dag(
+    lanes: int,
+    stages: int = 4,
+    rng: Optional[np.random.Generator] = None,
+    c_range: Tuple[float, float] = (1.0, 8.0),
+) -> Dag:
+    """The Epigenomics genome-sequencing shape over ``lanes`` read lanes.
+
+    split → per-lane chains of ``stages`` tasks (filter → sol2sanger →
+    fastq2bfq → map, in the 4-stage reference shape) → merge → final
+    index. Task ids are laid out ``[split, lane0-stage0..stage(S-1),
+    lane1-..., merge, final]`` — the layout :mod:`repro.workloads.traces`
+    relies on to attach per-stage empirical runtimes.
+    """
+    if lanes < 1 or stages < 1:
+        raise DagError("epigenomics needs lanes >= 1 and stages >= 1")
+    rng = rng or np.random.default_rng(0)
+    n = 1 + lanes * stages + 2
+    cs = _draw(rng, n, c_range)
+    tasks = [Task(i, float(c)) for i, c in enumerate(cs)]
+    split, merge, final = 0, n - 2, n - 1
+    edges = []
+    for lane in range(lanes):
+        first = 1 + lane * stages
+        edges.append((split, first))
+        for s in range(stages - 1):
+            edges.append((first + s, first + s + 1))
+        edges.append((first + stages - 1, merge))
+    edges.append((merge, final))
+    return Dag(tasks, edges, name=f"epigenomics-{lanes}x{stages}")
 
 
 def pipeline_dag(

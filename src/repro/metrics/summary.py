@@ -9,6 +9,7 @@ workload starts.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Dict
 
@@ -61,6 +62,28 @@ class ExperimentSummary:
             "setup_msg": self.setup_messages,
             "lat": round(self.mean_decision_latency, 3),
         }
+
+
+def scalars_equal(a: Dict[str, float], b: Dict[str, float]) -> bool:
+    """Exact equality of two ``scalar_metrics`` dicts, with NaN == NaN.
+
+    Bit-for-bit comparisons (identity goldens, the E11 uniform
+    differential) need "the same floats" — except that an absent-mean
+    metric (``mean_acs_size`` with zero distributed acceptances) is NaN
+    on both sides and must compare equal, exactly as the JSON golden
+    encoding treats it.
+    """
+    if a.keys() != b.keys():
+        return False
+    for k in a:
+        va, vb = a[k], b[k]
+        both_nan = (
+            isinstance(va, float) and isinstance(vb, float)
+            and math.isnan(va) and math.isnan(vb)
+        )
+        if not both_nan and va != vb:
+            return False
+    return True
 
 
 def summarize(

@@ -26,12 +26,22 @@ class SchedulingPlan:
         Owning site id (diagnostics only).
     surplus_window:
         Length ``W`` of the observation window for surplus computation.
+    speed:
+        Computing power of the owning site (§13 heterogeneous sites).
+        Reservations are committed already scaled to wall-clock time
+        (``c / speed``), so the timeline itself is speed-agnostic; the
+        speed is carried here so *work* accounting
+        (:meth:`work_between`) can convert busy time back to executed
+        complexity units.
     """
 
-    def __init__(self, site: SiteId, surplus_window: Time = 200.0) -> None:
+    def __init__(self, site: SiteId, surplus_window: Time = 200.0, speed: float = 1.0) -> None:
         if surplus_window <= 0:
             raise SchedulingError(f"surplus_window must be > 0, got {surplus_window}")
+        if speed <= 0:
+            raise SchedulingError(f"speed must be > 0, got {speed}")
         self.site = site
+        self.speed = speed
         self.surplus_window = surplus_window
         self.timeline = BusyTimeline()
         #: job -> list of its reservations (insertion order)
@@ -111,6 +121,18 @@ class SchedulingPlan:
         if end <= start + EPS:
             return 0.0
         return self.timeline.busy_time(start, end) / (end - start)
+
+    def work_between(self, start: Time, end: Time) -> float:
+        """Executed *complexity* units in [start, end): busy time × speed.
+
+        On heterogeneous networks two sites with equal ``load_between``
+        deliver different amounts of work; this is the capacity-weighted
+        view (a speed-2 site fully busy for 10 time units did 20 units of
+        work).
+        """
+        if end <= start + EPS:
+            return 0.0
+        return self.timeline.busy_time(start, end) * self.speed
 
     def scratch_timeline(self) -> BusyTimeline:
         """A private copy for what-if feasibility tests."""

@@ -18,12 +18,16 @@ testbed:
   and Watts–Strogatz graphs with configurable delay models.
 * :mod:`repro.simnet.trace` — structured tracing + message accounting used
   by every benchmark.
+* :mod:`repro.simnet.speeds` — per-site computing-power profiles (§13
+  heterogeneous sites): declarative specs resolved into the speed vectors
+  carried by :class:`~repro.simnet.topology.Topology`.
 """
 
 from repro.simnet.engine import Simulator
 from repro.simnet.message import Message
 from repro.simnet.network import Network
 from repro.simnet.site import SiteBase
+from repro.simnet.speeds import resolve_site_speeds
 from repro.simnet.topology import Topology, topology_factory
 from repro.simnet.trace import Tracer
 
@@ -34,5 +38,6 @@ __all__ = [
     "SiteBase",
     "Topology",
     "topology_factory",
+    "resolve_site_speeds",
     "Tracer",
 ]

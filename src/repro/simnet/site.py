@@ -42,10 +42,19 @@ class SiteBase:
         Processing time the management processor spends per received
         message before the handler runs (default 0 = instantaneous, the
         paper's implicit model).
+    speed:
+        Computing power of the site's *compute* processor (§13
+        heterogeneous sites): a task of complexity ``c`` takes ``c /
+        speed`` here. 1.0 (the default) is the paper's identical-sites
+        model. The management processor is speed-independent — protocol
+        handling costs ``mgmt_overhead`` regardless.
     """
 
-    def __init__(self, sid: SiteId, network: Network, mgmt_overhead: Time = 0.0) -> None:
+    def __init__(
+        self, sid: SiteId, network: Network, mgmt_overhead: Time = 0.0, speed: float = 1.0
+    ) -> None:
         self.sid = sid
+        self.speed = speed
         self.network = network
         self.sim = network.sim
         self.tracer = network.tracer

@@ -32,11 +32,15 @@ class Topology:
     """A weighted undirected graph description.
 
     ``edges`` holds ``(u, v, delay)`` with ``u < v`` and no duplicates.
+    ``site_speeds`` optionally carries per-site computing powers (§13
+    heterogeneous sites); ``None`` means the homogeneous network of the
+    paper's base model (every site at speed 1.0).
     """
 
     n: int
     edges: Tuple[Tuple[SiteId, SiteId, Time], ...]
     name: str = "topology"
+    site_speeds: Optional[Tuple[float, ...]] = None
 
     def __post_init__(self) -> None:
         seen = set()
@@ -50,6 +54,30 @@ class Topology:
             if d < 0:
                 raise TopologyError(f"{self.name}: negative delay on ({u},{v})")
             seen.add((u, v))
+        if self.site_speeds is not None:
+            if len(self.site_speeds) != self.n:
+                raise TopologyError(
+                    f"{self.name}: site_speeds has {len(self.site_speeds)} entries "
+                    f"for {self.n} sites"
+                )
+            for sid, s in enumerate(self.site_speeds):
+                if s <= 0:
+                    raise TopologyError(f"{self.name}: site {sid} speed must be > 0, got {s}")
+
+    def speed_of(self, sid: SiteId) -> float:
+        """Computing power of ``sid`` (1.0 when no speeds are carried)."""
+        if self.site_speeds is None:
+            return 1.0
+        return self.site_speeds[sid]
+
+    def with_site_speeds(self, speeds: Optional[Sequence[float]]) -> "Topology":
+        """A copy of this topology carrying ``speeds`` (length-``n``)."""
+        return Topology(
+            self.n,
+            self.edges,
+            self.name,
+            tuple(float(s) for s in speeds) if speeds is not None else None,
+        )
 
     def adjacency(self) -> Dict[SiteId, Dict[SiteId, Time]]:
         adj: Dict[SiteId, Dict[SiteId, Time]] = {i: {} for i in range(self.n)}
@@ -398,10 +426,22 @@ def build_network(
     ``site_factory(sid, network)`` must construct (and thereby register) the
     site object for each id — this is how experiments plug in RTDS sites vs
     baseline sites over identical topologies.
+
+    When the topology carries ``site_speeds``, they are installed on every
+    site after construction (the topology is the source of truth for the
+    heterogeneity it describes); a factory that already passed the same
+    speed — the experiment runner does — sees no change.
     """
     net = Network(sim, tracer)
     for sid in range(topo.n):
         site_factory(sid, net)
     for u, v, d in topo.edges:
         net.add_link(u, v, d, throughput)
+    if topo.site_speeds is not None:
+        for sid in range(topo.n):
+            site = net.site(sid)
+            site.speed = topo.site_speeds[sid]
+            plan = getattr(site, "plan", None)
+            if plan is not None:
+                plan.speed = site.speed
     return net

@@ -11,7 +11,21 @@ from __future__ import annotations
 
 from typing import List, Optional, Tuple
 
+from repro.simnet.speeds import is_homogeneous
 from repro.viz.gantt import GanttItem, render_gantt
+
+
+def _site_row_label(sid: int, site, heterogeneous: bool) -> str:
+    """Row label of one site; heterogeneous runs append the speed factor.
+
+    On a homogeneous network the labels are byte-identical to what they
+    always were; once speeds diverge, a row reads ``site  3 x0.50`` so a
+    half-speed site's visibly longer boxes are attributable at a glance
+    (the latent assumption was that equal box widths meant equal work).
+    """
+    if not heterogeneous:
+        return f"site{sid:>3}"
+    return f"site{sid:>3} x{getattr(site, 'speed', 1.0):.2f}"
 
 
 def execution_items(
@@ -23,19 +37,23 @@ def execution_items(
 ) -> List[GanttItem]:
     """Collect executed chunks as Gantt items, filtered by window/site/job."""
     items: List[GanttItem] = []
+    heterogeneous = not is_homogeneous(
+        [getattr(site, "speed", 1.0) for site in result.network.sites.values()]
+    )
     for sid, site in sorted(result.network.sites.items()):
         if sites is not None and sid not in sites:
             continue
         executor = getattr(site, "executor", None)
         if executor is None:
             continue
+        row = _site_row_label(sid, site, heterogeneous)
         for (job, task), rec in executor.records().items():
             if jobs is not None and job not in jobs:
                 continue
             for (s, e) in rec.actual:
                 if e <= t_min or s >= t_max:
                     continue
-                items.append((f"site{sid:>3}", f"{job}/{task}", s, e))
+                items.append((row, f"{job}/{task}", s, e))
     return items
 
 

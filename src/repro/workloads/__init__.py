@@ -12,7 +12,9 @@ generates such workloads deterministically:
 * :mod:`repro.workloads.load` — offered-load calibration (arrival rate ↔
   fraction of aggregate computing capacity);
 * :mod:`repro.workloads.scenarios` — named mixed-DAG scenario builders used
-  by examples and benches.
+  by examples and benches;
+* :mod:`repro.workloads.traces` — trace-driven workflow streams (Montage /
+  Epigenomics shapes with empirical per-task-type runtimes, E11).
 """
 
 from repro.workloads.jobs import JobSpec, Workload
@@ -26,6 +28,7 @@ from repro.workloads.scenarios import (
     generate_workload,
     mixed_dag_factory,
 )
+from repro.workloads.traces import trace_dag_factory, trace_names
 
 __all__ = [
     "CHURN_LEVELS",
@@ -39,4 +42,6 @@ __all__ = [
     "WorkloadSpec",
     "generate_workload",
     "mixed_dag_factory",
+    "trace_dag_factory",
+    "trace_names",
 ]

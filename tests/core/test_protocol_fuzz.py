@@ -42,6 +42,13 @@ class Scenario:
     enroll_mode: str
     preemptive: bool
     jobs: List[Tuple[int, float, int, float]]  # (origin, arrival, dag_seed, laxity)
+    #: per-site computing powers (None = the homogeneous base model); the
+    #: heterogeneous arm exercises ENROLL/VALIDATE/EXECUTE off the
+    #: identical-sites happy path (speeds ride in enrollment acks and
+    #: scale every admission test)
+    speeds: Tuple[float, ...] = None
+    #: job-DAG family: synthetic random DAGs or workflow-trace shapes
+    workload: str = "random"
 
 
 @st.composite
@@ -55,6 +62,16 @@ def scenarios(draw) -> Scenario:
         dag_seed = draw(st.integers(min_value=0, max_value=10_000))
         laxity = draw(st.floats(min_value=1.1, max_value=6.0))
         jobs.append((origin, arrival, dag_seed, laxity))
+    speeds = draw(
+        st.one_of(
+            st.none(),
+            st.lists(
+                st.floats(min_value=0.25, max_value=4.0, allow_nan=False),
+                min_size=n,
+                max_size=n,
+            ).map(tuple),
+        )
+    )
     return Scenario(
         n_sites=n,
         topo_seed=draw(st.integers(min_value=0, max_value=10_000)),
@@ -62,7 +79,23 @@ def scenarios(draw) -> Scenario:
         enroll_mode=draw(st.sampled_from(["refuse", "queue"])),
         preemptive=draw(st.booleans()),
         jobs=jobs,
+        speeds=speeds,
+        workload=draw(st.sampled_from(["random", "montage", "epigenomics"])),
     )
+
+
+def _scenario_dag(sc: Scenario, dag_seed: int):
+    """One job DAG of the scenario's workload family (small shapes)."""
+    rng = np.random.default_rng(dag_seed)
+    if sc.workload == "montage":
+        from repro.workloads.traces import montage_trace_dag
+
+        return montage_trace_dag(rng, tiles=(2, 4))
+    if sc.workload == "epigenomics":
+        from repro.workloads.traces import epigenomics_trace_dag
+
+        return epigenomics_trace_dag(rng, lanes=(1, 3))
+    return random_dag(3 + dag_seed % 8, rng, p_edge=0.3)
 
 
 def run_scenario(sc: Scenario):
@@ -83,21 +116,25 @@ def run_scenario(sc: Scenario):
         np.random.default_rng(sc.topo_seed),
         delay_range=(0.2, 1.0),
     )
-    net = build_network(
-        topo, sim, lambda sid, n: RTDSSite(sid, n, cfg, metrics=metrics)
-    )
+    def make_site(sid, n):
+        speed = sc.speeds[sid] if sc.speeds is not None else 1.0
+        return RTDSSite(sid, n, cfg, speed=speed, metrics=metrics)
+
+    net = build_network(topo, sim, make_site)
     for sid in net.site_ids():
         net.site(sid).start()
     sim.run()
 
+    # Deadlines reference the *slowest* site so heterogeneous scenarios
+    # keep some jobs feasible somewhere (deadlines are application-level;
+    # see repro.workloads.deadlines reference_speed).
+    ref_speed = min(sc.speeds) if sc.speeds is not None else 1.0
     dags = {}
     for jid, (origin, arrival, dag_seed, laxity) in enumerate(sc.jobs):
-        dag = random_dag(
-            3 + dag_seed % 8, np.random.default_rng(dag_seed), p_edge=0.3
-        )
+        dag = _scenario_dag(sc, dag_seed)
         dags[jid] = dag
         site = net.site(origin)
-        deadline_rel = laxity * critical_path_length(dag)
+        deadline_rel = laxity * critical_path_length(dag) / ref_speed
         sim.schedule_at(
             sim.now + arrival,
             lambda s=site, j=jid, d=dag, dr=deadline_rel: s.submit_job(
@@ -130,6 +167,7 @@ def test_protocol_invariants(sc: Scenario):
     # 3. accepted jobs executed fully and soundly; rejected never ran
     where = {}
     windows = {}
+    compute = {}
     for sid in net.site_ids():
         ex = net.site(sid).executor
         chunks = []
@@ -139,9 +177,19 @@ def test_protocol_invariants(sc: Scenario):
             if rec.done:
                 where[key] = sid
                 windows[key] = (rec.actual_start, rec.actual_end)
+                compute[key] = sum(e - s for s, e in rec.actual)
         chunks.sort()
         for (a1, a2), (b1, b2) in zip(chunks, chunks[1:]):
             assert b1 >= a2 - EPS, f"site {sid} ran two chunks at once"
+
+    # 3b. heterogeneity contract: wall-clock compute time == c / speed
+    for key, sid in where.items():
+        speed = net.site(sid).speed
+        expected = dags[key[0]].complexity(key[1]) / speed
+        assert abs(compute[key] - expected) <= 1e-6 * max(1.0, expected), (
+            f"task {key} on site {sid} (speed {speed:g}): "
+            f"ran {compute[key]} != c/speed {expected}"
+        )
 
     adj = topo.adjacency()
     dist_from = {}

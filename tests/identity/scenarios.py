@@ -9,7 +9,11 @@ their seeds, all with tracing on:
   the bread-and-butter macro shape every benchmark uses;
 * ``e7_churn`` — the hardened protocol under the "moderate" churn preset:
   retransmissions, lease expiries and timer cancellation storms, i.e. the
-  paths the lazy heap compaction must not perturb.
+  paths the lazy heap compaction must not perturb;
+* ``e11_hetero`` — heterogeneous sites (``skew:4`` speed profile) under a
+  Montage trace workload: the speed threading and the trace-driven
+  workload generator, pinned bit-for-bit (golden generated when E11
+  landed).
 
 The goldens under ``tests/identity/goldens/`` were generated from the
 pre-optimization tree (see ``make_goldens.py``); any optimization that
@@ -65,10 +69,24 @@ def _e7_churn() -> ExperimentConfig:
     )
 
 
+def _e11_hetero() -> ExperimentConfig:
+    return ExperimentConfig(
+        topology="erdos_renyi",
+        topology_kwargs={"n": 16, "p": 0.25, "delay_range": (0.2, 1.0)},
+        duration=150.0,
+        rho=0.6,
+        site_speeds="skew:4",
+        workload="trace:montage",
+        seed=11,
+        trace=True,
+    )
+
+
 SCENARIOS = {
     "paper_example": _paper_example,
     "e2_16": _e2_16,
     "e7_churn": _e7_churn,
+    "e11_hetero": _e11_hetero,
 }
 
 

@@ -36,6 +36,23 @@ class TestDesignMd:
             pkg = ROOT / "src" / "repro" / mod.replace(".", "/") / "__init__.py"
             assert path.exists() or pkg.exists(), f"repro.{mod} referenced but missing"
 
+    def test_heterogeneity_section(self):
+        """DESIGN.md §11 must document speed semantics + determinism."""
+        text = read("DESIGN.md")
+        assert "Heterogeneity & trace workloads" in text
+        assert "`repro.simnet.speeds`" in text
+        assert "`repro.workloads.traces`" in text
+        lower = text.lower()
+        for concept in (
+            "c / speed",
+            "mean-normalised",
+            "uniform is invisible",
+            "e11_hetero",
+            "reference_speed",
+        ):
+            assert concept.lower() in lower, f"DESIGN.md must document {concept!r}"
+        assert "bench_e11_hetero.py" in text
+
     def test_parallel_runtime_section(self):
         """The campaign runtime must stay documented where it is built."""
         text = read("DESIGN.md")
@@ -69,7 +86,7 @@ class TestExperimentsMd:
     def test_every_sweep_entry_has_a_cli_line(self):
         """Each E1–E8 artifact must carry the exact line that reproduces it."""
         text = read("EXPERIMENTS.md")
-        for exp in ("E1", "E1b", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10"):
+        for exp in ("E1", "E1b", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11"):
             assert re.search(rf"### {re.escape(exp)} —", text), f"missing entry {exp}"
         # every experiment entry is followed by a runnable command line
         entries = re.split(r"### ", text)[1:]
@@ -90,6 +107,15 @@ class TestExperimentsMd:
         assert "bench_e10_widenet.py" in text
         assert "BENCH_e10.json" in text
         assert "rtds sweep-widenet" in text
+
+    def test_e11_entry_names_gate_and_cli(self):
+        """E11 must document its drift gate, differential check and CLI."""
+        text = read("EXPERIMENTS.md")
+        assert "bench_e11_hetero.py" in text
+        assert "BENCH_e11.json" in text
+        assert "rtds sweep-hetero" in text
+        assert "uniform differential" in text
+        assert "trace:montage" in text and "trace:epigenomics" in text
 
 
 class TestReadme:
