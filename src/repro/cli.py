@@ -104,19 +104,16 @@ def _base_config(args: argparse.Namespace) -> ExperimentConfig:
 
 
 def _progress_printer():
-    """Per-cell progress line on stderr (stdout stays clean for tables)."""
+    """Live campaign dashboard on stderr (stdout stays clean for tables).
 
-    def on_result(result, done: int, total: int) -> None:
-        gr = result.metrics.get("guarantee_ratio")
-        tail = f"GR={gr:.4f}" if gr is not None else f"error: {result.error}"
-        print(
-            f"[{done}/{total}] {result.status:>6}  cell {result.key}  "
-            f"{result.label} seed={result.seed}  {tail}  ({result.elapsed:.2f}s)",
-            file=sys.stderr,
-            flush=True,
-        )
+    Every completed cell prints its own line plus a running footer with
+    cells/sec, elapsed and ETA (:class:`repro.obs.CampaignDashboard`).
+    The callback fires in the parent process even under ``--jobs`` pools,
+    and every line is flushed so worker stderr cannot interleave it.
+    """
+    from repro.obs.dashboard import CampaignDashboard
 
-    return on_result
+    return CampaignDashboard()
 
 
 def _campaign_store(args: argparse.Namespace, name: str):
@@ -150,12 +147,18 @@ def _report_cell_failures(err: CampaignCellError, has_store: bool) -> int:
 
 
 def _cmd_profile(args: argparse.Namespace) -> int:
-    """cProfile one experiment and print the top cumulative offenders.
+    """Profile one experiment through the selected backend.
 
-    The starting point of every perf PR: run it before guessing. Also
-    reports raw event throughput (total and loop-only), the numbers the
+    The starting point of every perf PR: run it before guessing.
+    ``--backend cprofile`` (the default) prints the top cumulative
+    offenders; ``--backend telemetry`` runs the same experiment with
+    ``repro.obs`` enabled and prints its timer/counter registry —
+    attribution by protocol phase instead of by Python function. Both
+    report raw event throughput (total and loop-only), the numbers the
     E9 bench gates on.
     """
+    if args.backend == "telemetry":
+        return _profile_telemetry(args)
     import cProfile
     import pstats
     import time
@@ -180,6 +183,161 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     print("note: cProfile instrumentation inflates wall time; ratios matter, not totals\n")
     stats = pstats.Stats(profiler, stream=sys.stdout)
     stats.sort_stats(args.sort).print_stats(args.limit)
+    return 0
+
+
+def _profile_telemetry(args: argparse.Namespace) -> int:
+    """The ``--backend telemetry`` profile: phase timers over functions."""
+    from repro.obs.export import metrics_records
+
+    cfg = replace(_base_config(args), algorithm=args.algorithm, telemetry=True)
+    res = run_experiment(cfg)
+    obs = res.telemetry
+    sim = res.network.sim
+    print(
+        f"telemetry profile: {args.algorithm}, {args.sites} sites, "
+        f"duration {args.duration}, seed {args.seed}"
+    )
+    print(
+        f"{sim.events_processed} events "
+        f"(loop only: {sim.events_processed / sim.wall_seconds:.0f} events/sec)"
+    )
+    records = metrics_records(obs)
+    timers = [r for r in records if r["kind"] == "timer"][: args.limit]
+    if timers:
+        rows = [
+            {
+                "timer": r["name"],
+                "count": r["count"],
+                "mean": r["mean"],
+                "p50": r["p50"],
+                "p95": r["p95"],
+                "p99": r["p99"],
+            }
+            for r in timers
+        ]
+        print(format_table(rows, title="timers (sim-time spans + wall-clock samples)"))
+    counters = {r["name"]: r["value"] for r in records if r["kind"] == "counter"}
+    if counters:
+        print(format_kv("counters", counters))
+    gauges = {r["name"]: r["value"] for r in records if r["kind"] == "gauge"}
+    if gauges:
+        print(format_kv("gauges", gauges))
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    """Run one telemetry-enabled experiment and export its timeline.
+
+    Writes a Chrome trace-event JSON (load it in https://ui.perfetto.dev
+    or ``chrome://tracing``) with one lane per site showing the protocol
+    phases of every job, plus (``--metrics``) the flat metrics JSONL.
+    ``--paper-example`` runs the Figure-1 scenario: a 4-site complete
+    network fed Fig. 2 DAGs — small enough to read span by span.
+    """
+    from repro.obs.export import (
+        chrome_trace,
+        validate_chrome_trace,
+        write_chrome_trace,
+        write_metrics_jsonl,
+    )
+
+    if args.paper_example:
+        from repro.experiments.paper_example import paper_example_config
+
+        cfg = replace(paper_example_config(seed=args.seed), telemetry=True)
+    else:
+        cfg = replace(_base_config(args), algorithm=args.algorithm, telemetry=True)
+    res = run_experiment(cfg)
+    obs = res.telemetry
+    doc = chrome_trace(obs)
+    problems = validate_chrome_trace(doc)
+    if problems:
+        for p in problems:
+            print(f"error: invalid trace: {p}", file=sys.stderr)
+        return 1
+    n_events = write_chrome_trace(obs, args.out)
+    admitted = [r for r in res.collector.records() if r.outcome.accepted]
+    spanned = {
+        cat: {s.key for s in obs.spans if s.category == cat}
+        for cat in ("phase.enroll", "phase.validate", "phase.execute")
+    }
+    missing = [
+        (r.job, cat)
+        for r in admitted
+        for cat, keys in spanned.items()
+        if r.job not in keys
+    ]
+    print(f"wrote {args.out}: {n_events} trace events, {len(obs.spans)} spans")
+    print(
+        f"jobs: {len(admitted)} admitted / {res.collector.n_arrived()} arrived; "
+        f"enroll/validate/execute spans cover "
+        f"{len(admitted) - len({j for j, _ in missing})}/{len(admitted)} admitted jobs"
+    )
+    if args.metrics:
+        n_rec = write_metrics_jsonl(obs, args.metrics)
+        print(f"wrote {args.metrics}: {n_rec} metric records")
+    if missing:
+        for job, cat in missing:
+            print(f"error: admitted job {job} has no {cat} span", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    """Summarize a campaign result store's metrics and obs snapshots.
+
+    Accepts a ``--store`` directory (all campaigns) or one campaign's
+    ``.jsonl`` file. Per campaign: cell counts, wall time, mean GR, and
+    percentile summaries of the per-cell events/sec and peak-RSS samples
+    the campaign runtime records on every cell.
+    """
+    import pathlib
+
+    from repro.experiments.parallel import CampaignStore, ResultStore
+    from repro.obs.telemetry import percentiles
+
+    path = pathlib.Path(args.store)
+    if path.is_dir():
+        store = ResultStore(path)
+        names = store.campaigns()
+        stores = [(name, store.campaign(name)) for name in names]
+    elif path.is_file():
+        stores = [(path.stem, CampaignStore(path))]
+    else:
+        print(f"error: no store at {path}", file=sys.stderr)
+        return 1
+    if not stores:
+        print(f"error: store {path} holds no campaigns", file=sys.stderr)
+        return 1
+    rows = []
+    for name, cs in stores:
+        results = list(cs.load().values())
+        if not results:
+            continue
+        ok = [r for r in results if r.ok]
+        grs = [
+            r.metrics["guarantee_ratio"] for r in ok if "guarantee_ratio" in r.metrics
+        ]
+        eps = [r.obs["events_per_sec"] for r in ok if "events_per_sec" in r.obs]
+        rss = [r.obs["rss_mb"] for r in ok if "rss_mb" in r.obs]
+        eps_p = percentiles(eps)
+        rows.append(
+            {
+                "campaign": name,
+                "cells": len(results),
+                "failed": len(results) - len(ok),
+                "wall_s": sum(r.elapsed for r in results),
+                "GR": sum(grs) / len(grs) if grs else float("nan"),
+                "ev/s p50": eps_p["p50"],
+                "ev/s p95": eps_p["p95"],
+                "rss_mb max": max(rss) if rss else float("nan"),
+            }
+        )
+    if not rows:
+        print(f"error: store {path} holds no records", file=sys.stderr)
+        return 1
+    print(format_table(rows, title=f"store stats: {path}"))
     return 0
 
 
@@ -410,6 +568,37 @@ def build_parser() -> argparse.ArgumentParser:
         "--sort", default="cumulative", choices=["cumulative", "tottime", "ncalls"],
         help="pstats sort key",
     )
+    p_prof.add_argument(
+        "--backend", default="cprofile", choices=["cprofile", "telemetry"],
+        help="cprofile: function-level wall time; telemetry: repro.obs "
+        "phase timers, counters and gauges",
+    )
+
+    p_tr = sub.add_parser(
+        "trace", help="run with telemetry on; export a Chrome trace-event timeline"
+    )
+    common(p_tr)
+    p_tr.add_argument("--algorithm", default="rtds")
+    p_tr.add_argument(
+        "--paper-example", action="store_true", dest="paper_example",
+        help="trace the Figure-1 scenario (4-site complete net, Fig. 2 DAGs) "
+        "instead of the --sites/--rho synthetic workload",
+    )
+    p_tr.add_argument(
+        "--out", default="trace.json",
+        help="Chrome trace-event JSON output path (open in ui.perfetto.dev)",
+    )
+    p_tr.add_argument(
+        "--metrics", default=None,
+        help="also write the flat metrics JSONL stream to this path",
+    )
+
+    p_st = sub.add_parser(
+        "stats", help="summarize a campaign result store (GR, events/sec, RSS)"
+    )
+    p_st.add_argument(
+        "store", help="result-store directory or one campaign's .jsonl file"
+    )
 
     p_camp = sub.add_parser(
         "campaign", help="replicated multi-algorithm campaign with 95%% CIs"
@@ -492,6 +681,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         "example": _cmd_example,
         "run": _cmd_run,
         "profile": _cmd_profile,
+        "trace": _cmd_trace,
+        "stats": _cmd_stats,
         "campaign": _cmd_campaign,
         "sweep-load": _cmd_sweep_load,
         "sweep-size": _cmd_sweep_size,

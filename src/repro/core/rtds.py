@@ -23,6 +23,7 @@ RESULT messages only open executor gates and pass through locks.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from time import perf_counter
 from typing import Any, Dict, List, Optional, Set, Tuple
 
 from repro.core.adjustment import adjust_trial_mapping
@@ -87,7 +88,7 @@ class RTDSSite(SiteBase):
         super().__init__(sid, network, mgmt_overhead, speed=speed)
         self.config = config
         self.metrics = metrics
-        self.plan = SchedulingPlan(sid, config.surplus_window, speed=speed)
+        self.plan = SchedulingPlan(sid, config.surplus_window, speed=speed, obs=self.obs)
         self.executor = PlanExecutor(network.sim, self.plan)
         self.executor.on_complete.append(self._on_task_complete)
         if metrics is not None and hasattr(metrics, "on_task_complete"):
@@ -199,6 +200,7 @@ class RTDSSite(SiteBase):
             if self.now + cp > ctx.deadline + 1e-9:
                 self._decide(ctx, JobOutcome.REJECTED_TIMEOUT)
                 return
+        _t0 = perf_counter() if self.obs_on else 0.0
         fit = local_guarantee_test(
             self.plan.timeline,
             ctx.dag,
@@ -209,16 +211,34 @@ class RTDSSite(SiteBase):
             preemptive=self.config.validation_preemptive,
             speed=self.speed,
         )
+        if self.obs_on:
+            self.obs.observe("rtds.local_test_wall_sec", perf_counter() - _t0)
         if fit is not None:
             slots, gates = fit
             self.plan.commit(slots)
             self.executor.notify_committed(slots, gates)
             if self.trace_on:
                 self.trace("job.local_accept", job=ctx.job)
+            if self.obs_on:
+                # retroactive phases of a locally-admitted job: the "enroll"
+                # covers arrival -> decision (kind=local), validation is the
+                # instantaneous local test — so every admitted job, local or
+                # distributed, renders the same phase taxonomy in the trace
+                self.obs.inc("rtds.local_accept")
+                self.obs.span(
+                    "phase.enroll", ctx.arrival, self.now,
+                    site=self.sid, key=ctx.job, kind="local",
+                )
+                self.obs.span(
+                    "phase.validate", self.now, self.now,
+                    site=self.sid, key=ctx.job, kind="local",
+                )
             self._decide(ctx, JobOutcome.ACCEPTED_LOCAL, hosts=[self.sid])
             return
         if self.trace_on:
             self.trace("job.local_reject", job=ctx.job)
+        if self.obs_on:
+            self.obs.inc("rtds.local_reject")
         self._initiate(ctx)
 
     # ------------------------------------------------------------------
@@ -242,6 +262,11 @@ class RTDSSite(SiteBase):
         session.started_at = self.now
         session.ctx = ctx  # attach the job context
         self.session = session
+        if self.obs_on:
+            self.obs.span_begin(
+                "phase.enroll", ctx.job, self.now,
+                site=self.sid, asked=len(members),
+            )
         sphere_sites = sorted([*members, self.sid])
         if self.trace_on:
             self.trace("acs.enroll", job=ctx.job, asked=len(members))
@@ -451,6 +476,12 @@ class RTDSSite(SiteBase):
             self._phase_attempts += 1
             self.trace("acs.retransmit", job=job, to=silent, attempt=self._phase_attempts)
             self._count("enroll_retransmit")
+            if self.obs_on:
+                self.obs.inc("rtds.retransmit.enroll", len(silent))
+                self.obs.span(
+                    "phase.retransmission", self.now, self.now, site=self.sid,
+                    key=job, round="enroll", attempt=self._phase_attempts,
+                )
             sphere_sites = sorted([*s.asked, self.sid])
             sphere_broadcast(
                 self,
@@ -493,6 +524,12 @@ class RTDSSite(SiteBase):
             self._phase_attempts += 1
             self.trace("validate.retransmit", job=job, to=silent, attempt=self._phase_attempts)
             self._count("validate_retransmit")
+            if self.obs_on:
+                self.obs.inc("rtds.retransmit.validate", len(silent))
+                self.obs.span(
+                    "phase.retransmission", self.now, self.now, site=self.sid,
+                    key=job, round="validate", attempt=self._phase_attempts,
+                )
             procs = self._validate_payload()
             size = float(sum(len(v) for v in procs.values()) + 2)
             sphere_broadcast(
@@ -524,6 +561,12 @@ class RTDSSite(SiteBase):
             targets = sorted(pe["unacked"])
             self.trace("execute.retransmit", job=job, to=targets, attempt=pe["attempts"])
             self._count("execute_retransmit")
+            if self.obs_on:
+                self.obs.inc("rtds.retransmit.execute", len(targets))
+                self.obs.span(
+                    "phase.retransmission", self.now, self.now, site=self.sid,
+                    key=job, round="execute", attempt=pe["attempts"],
+                )
             sphere_broadcast(self, targets, MSG_EXECUTE, pe["payload"], size=pe["size"])
             pe["timer"] = self.sim.schedule(
                 self._round_budget(targets, pe["size"]),
@@ -610,6 +653,12 @@ class RTDSSite(SiteBase):
             self.sim.cancel(self._enroll_timer)
             self._enroll_timer = None
         self._cancel_ack_timer()
+        if self.obs_on:
+            self.obs.span_end("phase.enroll", s.job, self.now, ok=bool(s.enrolled))
+            self.obs.span_begin(
+                "phase.map", s.job, self.now,
+                site=self.sid, enrolled=len(s.enrolled),
+            )
         if not s.enrolled:
             # Nobody available: the job cannot be distributed.
             self._finish_session(JobOutcome.REJECTED_NO_SPHERE, unlock_members=False)
@@ -682,7 +731,14 @@ class RTDSSite(SiteBase):
                     timeline=timeline,
                 )
             )
-        tm = build_trial_mapping(ctx.job, ctx.dag, specs, omega, r_map)
+        _t0 = perf_counter() if self.obs_on else 0.0
+        tm = build_trial_mapping(
+            ctx.job, ctx.dag, specs, omega, r_map,
+            obs=self.obs if self.obs_on else None,
+        )
+        if self.obs_on:
+            self.obs.observe("rtds.mapper_wall_sec", perf_counter() - _t0)
+            self.obs.inc("rtds.mapper_runs")
         adj = adjust_trial_mapping(tm, ctx.deadline, self.config.laxity_mode)
         s.trial_mapping = tm
         s.adjustment = adj
@@ -719,6 +775,9 @@ class RTDSSite(SiteBase):
         s = self.session
         assert s is not None
         s.phase = AcsSession.VALIDATING
+        if self.obs_on:
+            self.obs.span_end("phase.map", s.job, self.now)
+            self.obs.span_begin("phase.validate", s.job, self.now, site=self.sid)
         procs = self._validate_payload()
         members = s.acs_members()
         size = float(sum(len(v) for v in procs.values()) + 2)
@@ -833,6 +892,8 @@ class RTDSSite(SiteBase):
         self._cancel_ack_timer()
         tm = s.trial_mapping
         perm = compute_permutation(tm.used_procs(), s.endorsements)
+        if self.obs_on:
+            self.obs.span_end("phase.validate", s.job, self.now, ok=perm is not None)
         if perm is None:
             self.trace("validate.fail", job=s.job)
             self._finish_session(JobOutcome.REJECTED_VALIDATION)
@@ -884,6 +945,9 @@ class RTDSSite(SiteBase):
         if my_procs:
             self._commit_assignment(s.job, my_procs[0], s.own_slots, host, preds, volumes)
         hosts = sorted(set(perm.values()))
+        if self.obs_on:
+            self.obs.inc("rtds.distributed_accept")
+            self.obs.observe("rtds.acs_size", len(members) + 1)
         self._decide(ctx, JobOutcome.ACCEPTED_DISTRIBUTED, hosts=hosts, acs_size=len(members) + 1)
         s.phase = AcsSession.FINISHED
         self.session = None
@@ -1025,6 +1089,12 @@ class RTDSSite(SiteBase):
         s = self.session
         assert s is not None
         self._cancel_ack_timer()
+        if self.obs_on:
+            # whichever phase the session died in: close its span as failed
+            # so the trace never leaks an open interval on rejection
+            for cat in ("phase.enroll", "phase.map", "phase.validate"):
+                self.obs.span_end(cat, s.job, self.now, ok=False)
+            self.obs.inc("rtds.reject." + outcome.value)
         ctx = s.ctx
         members = s.acs_members()
         if unlock_members and members:

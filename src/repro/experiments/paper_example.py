@@ -61,6 +61,37 @@ PAPER_FIG4 = {
 }
 
 
+def paper_example_dag_factory(rng):
+    """Workload factory: every arriving job is the paper's Fig. 2 DAG.
+
+    Module-level and named on purpose — campaign cell keys and worker
+    pools require named callables (see :mod:`repro.experiments.parallel`).
+    """
+    return paper_example_dag()
+
+
+def paper_example_config(seed: int = 0, duration: float = 150.0):
+    """The paper-example scenario as a runnable :class:`ExperimentConfig`.
+
+    A 4-site complete network with unit delays (the Figure-1 setting, h=1
+    spheres) fed a stream of Fig. 2 DAGs. This is the config ``rtds trace
+    --paper-example`` renders into a Perfetto timeline: small enough that
+    every enroll/map/validate/execute span is individually readable.
+    """
+    from repro.experiments.runner import ExperimentConfig
+
+    return ExperimentConfig(
+        topology="complete",
+        topology_kwargs={"n": 4, "delay_range": (1.0, 1.0)},
+        algorithm="rtds",
+        rtds=RTDSConfig(h=1, surplus_window=100.0),
+        rho=0.7,
+        duration=duration,
+        dag_factory=paper_example_dag_factory,
+        seed=seed,
+    )
+
+
 def paper_example_trial_mapping() -> TrialMapping:
     """Run the §12 Mapper on the reconstructed instance."""
     dag = paper_example_dag()

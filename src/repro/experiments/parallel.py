@@ -121,10 +121,14 @@ def config_fingerprint(config: ExperimentConfig) -> Dict[str, object]:
 
     Every behaviour-affecting field of the fully-resolved config is
     included; the display-only ``label`` is dropped so renaming a sweep
-    column never invalidates its cached cells.
+    column never invalidates its cached cells, and the observability-only
+    ``telemetry`` flag is dropped so turning instrumentation on or off
+    addresses the same cells (telemetry never changes results — the
+    identity goldens and the telemetry differential test pin that).
     """
     enc = _encode(config)
     enc.pop("label", None)
+    enc.pop("telemetry", None)
     return enc
 
 
@@ -163,6 +167,11 @@ class CellResult:
     error: Optional[str] = None
     #: wall-clock seconds spent executing the cell
     elapsed: float = 0.0
+    #: per-cell observability snapshot (events, events/sec, peak RSS MB)
+    #: — collected unconditionally (it is harness-side sampling, not
+    #: simulation telemetry) and kept apart from ``metrics`` so the
+    #: serial-vs-pool identity contract (``same_metrics``) is untouched
+    obs: Dict[str, float] = field(default_factory=dict)
 
     def __hash__(self):
         """Hash on the immutable identity fields (the dicts can't hash)."""
@@ -186,6 +195,7 @@ class CellResult:
                 "faults": self.faults,
                 "error": self.error,
                 "elapsed": self.elapsed,
+                "obs": self.obs,
             },
             sort_keys=True,
         )
@@ -204,6 +214,8 @@ class CellResult:
             faults={k: int(v) for k, v in (raw.get("faults") or {}).items()},
             error=raw.get("error"),
             elapsed=float(raw.get("elapsed", 0.0)),
+            # tolerant of pre-observability store lines (no "obs" field)
+            obs={k: float(v) for k, v in (raw.get("obs") or {}).items()},
         )
 
 
@@ -219,6 +231,7 @@ def run_cell(config: ExperimentConfig, key: Optional[str] = None) -> CellResult:
     should die, then resume.
     """
     from repro.metrics.faults import fault_report
+    from repro.obs.telemetry import rss_mb
 
     key = key or cell_key(config)
     t0 = time.perf_counter()
@@ -226,6 +239,16 @@ def run_cell(config: ExperimentConfig, key: Optional[str] = None) -> CellResult:
         result = run_experiment(config)
         metrics = result.scalar_metrics()
         rep = fault_report(result)
+        sim = result.network.sim
+        obs_snapshot = {
+            "events": float(sim.events_processed),
+            "events_per_sec": (
+                sim.events_processed / sim.wall_seconds if sim.wall_seconds > 0 else 0.0
+            ),
+        }
+        rss = rss_mb()
+        if rss is not None:
+            obs_snapshot["rss_mb"] = rss
     except Exception as exc:
         return CellResult(
             key=key,
@@ -253,6 +276,7 @@ def run_cell(config: ExperimentConfig, key: Optional[str] = None) -> CellResult:
             "site_down_events": rep.site_down_events,
         },
         elapsed=time.perf_counter() - t0,
+        obs=obs_snapshot,
     )
 
 

@@ -18,7 +18,7 @@ workload, random-offload choices, and the tie-break rules are seed-free.
 from __future__ import annotations
 
 import gc
-from contextlib import contextmanager
+from contextlib import contextmanager, nullcontext
 from dataclasses import dataclass, field, replace
 from typing import Any, Callable, Dict, List, Optional
 
@@ -127,6 +127,13 @@ class ExperimentConfig:
     routing_mode: str = "protocol"
     seed: int = 0
     trace: bool = False
+    #: telemetry (repro.obs): False (default) keeps every hot path on the
+    #: no-op mirror flags — bit-for-bit the untelemetered run (identity
+    #: goldens pin this). True attaches an enabled Telemetry to the
+    #: engine, network, sites and plans, records protocol-phase spans and
+    #: percentile timers, and returns it on ``RunResult.telemetry``.
+    #: Observability-only: excluded from campaign cell keys like ``label``.
+    telemetry: bool = False
     label: Optional[str] = None
 
     def __post_init__(self) -> None:
@@ -185,6 +192,9 @@ class RunResult:
     #: the armed fault injector (stats + concrete windows), or None when
     #: the run had no (or a zero) fault plan
     faults: Optional[FaultInjector] = None
+    #: the run's telemetry registry (spans/counters/timers), or None when
+    #: ``config.telemetry`` was off — feed it to :mod:`repro.obs.export`
+    telemetry: Optional[Any] = None
 
     def site_utilizations(self, start: float, end: float) -> Dict[int, float]:
         """Per-site compute utilization over the window ``[start, end]``."""
@@ -244,6 +254,7 @@ def _make_sites(
     sim: Simulator,
     tracer: Tracer,
     metrics: MetricsCollector,
+    obs=None,
 ):
     """Build the live network; returns ``(network, weight_matrix_or_None)``.
 
@@ -326,7 +337,7 @@ def _make_sites(
                 routing_factory=routing_factory,
             )
 
-    return build_network(topo, sim, factory, tracer), W
+    return build_network(topo, sim, factory, tracer, obs=obs), W
 
 
 @contextmanager
@@ -371,7 +382,15 @@ def _run_experiment(config: ExperimentConfig) -> RunResult:
     sim = Simulator()
     tracer = Tracer(enabled=config.trace)
     metrics = MetricsCollector()
-    net, W = _make_sites(config, topo, sim, tracer, metrics)
+    obs = None
+    if config.telemetry:
+        from repro.obs import Telemetry
+
+        obs = Telemetry(enabled=True, seed=config.seed)
+        # engine samples at run() boundaries only; sites/plans mirror
+        # obs.enabled into their obs_on flags at construction
+        sim.obs = obs
+    net, W = _make_sites(config, topo, sim, tracer, metrics, obs=obs)
     if config.link_throughput is not None:
         # applied post-construction so _make_sites stays algorithm-generic
         for link in net.links():
@@ -404,12 +423,14 @@ def _run_experiment(config: ExperimentConfig) -> RunResult:
     # --- phase 1: setup (routing; focused also primes its surplus tables).
     # Routing drains on its own; focused's periodic broadcast never stops,
     # so bound setup by one broadcast round trip.
-    if config.algorithm == "focused":
-        sim.run(until=config.focused_period * 1.5)
-        while not all(s.routing.done for s in sites):
-            sim.run(until=sim.now + config.focused_period)
-    else:
-        sim.run(until=None)
+    setup_cm = obs.timeit("run.setup") if obs is not None else nullcontext()
+    with setup_cm:
+        if config.algorithm == "focused":
+            sim.run(until=config.focused_period * 1.5)
+            while not all(s.routing.done for s in sites):
+                sim.run(until=sim.now + config.focused_period)
+        else:
+            sim.run(until=None)
     for s in sites:
         if not s.routing.done:
             raise ConfigError(
@@ -491,7 +512,12 @@ def _run_experiment(config: ExperimentConfig) -> RunResult:
                 sim.schedule(interval, hygiene_tick)
 
         sim.schedule(interval, hygiene_tick)
-    sim.run(until=horizon)
+    workload_cm = obs.timeit("run.workload") if obs is not None else nullcontext()
+    with workload_cm:
+        sim.run(until=horizon)
+
+    if obs is not None:
+        _record_run_telemetry(obs, metrics, sim, setup_time, net)
 
     summary = summarize(
         config.resolved_label(),
@@ -511,4 +537,46 @@ def _run_experiment(config: ExperimentConfig) -> RunResult:
         setup_messages=setup_messages,
         setup_time=setup_time,
         faults=injector,
+        telemetry=obs,
     )
+
+
+def _record_run_telemetry(
+    obs, metrics: MetricsCollector, sim: Simulator, setup_time: float, net
+) -> None:
+    """End-of-run telemetry: execute spans for every admitted job + gauges.
+
+    Execution spans are derived from the collector's records (decision
+    time -> last task completion) rather than instrumented inside each
+    algorithm's execution path, so every admitted job — RTDS or baseline,
+    local or distributed — renders a ``phase.execute`` interval on its
+    origin site's trace lane, uniformly. Failed deadlines render ``ok:
+    false``; a job with no recorded completions gets a zero-width span at
+    its decision time.
+
+    Per-type message counters fold in here from the network's exact
+    :class:`~repro.simnet.network.MessageStats` rather than incrementing a
+    registry counter per transmission — same final values, zero additional
+    per-message work (the E9 ``macro_obs`` overhead gate's largest win).
+    """
+    for mtype, n in net.stats.count.items():
+        obs.inc("net.msgs." + mtype, float(n))
+    obs.gauge("net.bytes", float(net.stats.total_volume))
+    for rec in metrics.records():
+        if not rec.outcome.accepted or rec.decided_at is None:
+            continue
+        t_end = max(rec.completions.values()) if rec.completions else rec.decided_at
+        obs.span(
+            "phase.execute",
+            rec.decided_at,
+            t_end,
+            site=rec.origin,
+            key=rec.job,
+            ok=rec.met_deadline is not False,
+            hosts=len(rec.hosts) if rec.hosts else 0,
+        )
+    obs.gauge("run.setup_sim_time", setup_time)
+    obs.gauge("run.sim_time", sim.now)
+    obs.gauge("run.jobs_arrived", metrics.n_arrived())
+    obs.gauge("run.jobs_accepted", metrics.n_accepted())
+    obs.sample_rss()

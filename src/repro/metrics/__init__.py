@@ -13,8 +13,17 @@
 
 from repro.metrics.collector import MetricsCollector
 from repro.metrics.faults import FaultReport, fault_report
-from repro.metrics.latency import mean_phase_breakdown, phase_latencies
-from repro.metrics.protocol_stats import ProtocolStats, protocol_stats
+from repro.metrics.latency import (
+    mean_phase_breakdown,
+    phase_latencies,
+    phase_percentile_breakdown,
+)
+from repro.metrics.protocol_stats import (
+    ProtocolStats,
+    lock_hold_percentiles,
+    lock_holds,
+    protocol_stats,
+)
 from repro.metrics.summary import ExperimentSummary, summarize
 from repro.metrics.stats import mean_confidence_interval, ratio_confidence_interval
 
@@ -28,6 +37,9 @@ __all__ = [
     "ratio_confidence_interval",
     "mean_phase_breakdown",
     "phase_latencies",
+    "phase_percentile_breakdown",
     "ProtocolStats",
     "protocol_stats",
+    "lock_holds",
+    "lock_hold_percentiles",
 ]

@@ -92,3 +92,27 @@ def mean_phase_breakdown(tracer: Tracer) -> Dict[str, float]:
         "validate": mean([l.validate for l in lats]),
         "total": mean([l.total for l in lats]),
     }
+
+
+def phase_percentile_breakdown(
+    tracer: Tracer, qs=(50.0, 95.0, 99.0)
+) -> Dict[str, Dict[str, float]]:
+    """Percentile (default p50/p95/p99) phase durations over all runs.
+
+    The tail companion of :func:`mean_phase_breakdown`: on loaded networks
+    the *mean* enrollment round trip hides the retransmission stragglers
+    that decide whether a deadline holds. Phases with no samples (e.g. no
+    protocol run ever validated) come back all-NaN rather than raising.
+    """
+    from repro.obs.telemetry import percentiles
+
+    lats = phase_latencies(tracer)
+
+    def pcts(vals):
+        return percentiles([v for v in vals if v is not None], qs)
+
+    return {
+        "enroll+map": pcts([l.enroll for l in lats]),
+        "validate": pcts([l.validate for l in lats]),
+        "total": pcts([l.total for l in lats]),
+    }

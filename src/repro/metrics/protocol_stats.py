@@ -52,6 +52,38 @@ class ProtocolStats:
         ]
 
 
+def lock_holds(tracer: Tracer) -> List[float]:
+    """Per-(site, job) lock-hold durations, in event order.
+
+    A hold opens at ``acs.enrolled`` and closes at the first of
+    ``lock.released`` / ``execute.commit`` / ``execute.bystander`` for the
+    same (site, job); holds still open at the end of the trace are dropped.
+    """
+    acquired: Dict[tuple, float] = {}
+    holds: List[float] = []
+    for e in tracer.events:
+        job = e.detail.get("job")
+        if e.category == "acs.enrolled":
+            acquired[(e.site, job)] = e.time
+        elif e.category in ("lock.released", "execute.commit", "execute.bystander"):
+            key = (e.site, job)
+            if key in acquired:
+                holds.append(e.time - acquired.pop(key))
+    return holds
+
+
+def lock_hold_percentiles(tracer: Tracer, qs=(50.0, 95.0, 99.0)) -> Dict[str, float]:
+    """Percentile (default p50/p95/p99) lock-hold times across members.
+
+    Lock pressure is the protocol's scarcest resource — a member locked on
+    one ACS refuses every other enrollment — so its *tail* matters more
+    than its mean. All-NaN when the trace holds no completed locks.
+    """
+    from repro.obs.telemetry import percentiles
+
+    return percentiles(lock_holds(tracer), qs)
+
+
 def protocol_stats(tracer: Tracer) -> ProtocolStats:
     """Fold a traced run into :class:`ProtocolStats`."""
     enrolls = 0

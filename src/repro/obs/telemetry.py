@@ -1,0 +1,382 @@
+"""The telemetry registry: counters, gauges, percentile timers, spans.
+
+One :class:`Telemetry` instance observes one experiment (the runner builds
+it from ``ExperimentConfig.telemetry`` and attaches it to the network the
+way the tracer is attached). Four primitive kinds:
+
+* **counters** — monotonically increasing event counts
+  (``obs.inc("protocol.retransmit.enroll")``);
+* **gauges** — last-write-wins scalars (``obs.gauge("run.rss_mb", 120.4)``);
+* **timers** — bounded-memory percentile estimators
+  (:class:`ReservoirTimer`, Vitter's algorithm R): every ``observe`` feeds
+  an exact count/sum/min/max plus a fixed-size uniform sample the
+  p50/p95/p99 come from. The reservoir RNG is seeded per timer name, so a
+  fixed-seed run reports bit-identical percentiles;
+* **spans** — *simulated-time* intervals ``[t0, t1]`` labelled with a
+  category, a key (usually the job id) and a site. Protocol phases
+  (enroll, map, validate, execute, retransmission) are spans; the Chrome
+  trace exporter (:mod:`repro.obs.export`) turns them into a
+  Perfetto-viewable timeline, one lane per site. Closing a span also feeds
+  its duration to the same-named timer, so phase percentiles are free.
+
+Wall-clock measurement uses :meth:`Telemetry.timeit`, an exception-safe
+context manager whose nesting builds ``outer/inner`` timer names.
+
+**The overhead contract** (DESIGN.md "Observability model"): telemetry off
+must be invisible. Every hot call site guards on a plain boolean mirror
+(``obs_on``, synced like ``trace_on``), the disabled singleton
+:data:`NULL_TELEMETRY` never mutates state, and nothing here ever touches
+simulation behaviour — telemetry is an oracle observer, never an input.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+import time
+import zlib
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.types import SiteId, Time
+
+__all__ = [
+    "Telemetry",
+    "NULL_TELEMETRY",
+    "ReservoirTimer",
+    "Span",
+    "percentiles",
+    "percentile",
+]
+
+#: default reservoir capacity: 512 samples bound memory while keeping the
+#: p99 of campaign-sized streams within a few percent of exact
+DEFAULT_RESERVOIR = 512
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile of ``values`` (``q`` in [0, 100]).
+
+    NaN for an empty stream; the single-sample stream returns that sample
+    for every ``q`` (the degenerate distribution's every quantile).
+    """
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile q must be in [0, 100], got {q}")
+    vals = sorted(values)
+    if not vals:
+        return float("nan")
+    # nearest-rank: ceil(q/100 * n), 1-indexed, clamped to the extremes
+    rank = max(1, min(len(vals), math.ceil(q / 100.0 * len(vals))))
+    return float(vals[rank - 1])
+
+
+def percentiles(
+    values: Sequence[float], qs: Sequence[float] = (50.0, 95.0, 99.0)
+) -> Dict[str, float]:
+    """``{"p50": ..., "p95": ..., "p99": ...}`` (nearest-rank, NaN-safe).
+
+    The one percentile routine every consumer shares — the latency
+    breakdown, the protocol stats, ``rtds stats`` and the reservoir timers
+    all report quantiles through here, so they cannot disagree on method.
+    """
+    srt = sorted(values)
+    return {f"p{q:g}": percentile(srt, q) for q in qs}
+
+
+class ReservoirTimer:
+    """Bounded-memory percentile estimator (uniform reservoir sampling).
+
+    Exact ``count``/``sum``/``min``/``max`` over the whole stream; the
+    percentiles come from a fixed-size uniform sample maintained with
+    Vitter's algorithm R. The RNG is locally seeded, so two runs feeding
+    the same stream report identical percentiles — determinism is part of
+    the repo's identity contract even for observability.
+    """
+
+    __slots__ = ("capacity", "count", "total", "min", "max", "_sample", "_random")
+
+    def __init__(self, capacity: int = DEFAULT_RESERVOIR, seed: int = 0) -> None:
+        if capacity < 1:
+            raise ValueError(f"reservoir capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+        self._sample: List[float] = []
+        # pre-bound C-level uniform: the steady-state observe() draws one
+        # float per sample, and randrange()'s pure-Python integer path is
+        # too slow for the per-message streams (E9 macro_obs gate)
+        self._random = random.Random(seed).random
+
+    def observe(self, value: float) -> None:
+        """Feed one sample (algorithm R: O(1), bounded memory)."""
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        sample = self._sample
+        if len(sample) < self.capacity:
+            sample.append(value)
+        else:
+            j = int(self._random() * self.count)
+            if j < self.capacity:
+                sample[j] = value
+
+    @property
+    def mean(self) -> float:
+        """Exact stream mean (NaN for an empty stream)."""
+        return self.total / self.count if self.count else float("nan")
+
+    def percentiles(self, qs: Sequence[float] = (50.0, 95.0, 99.0)) -> Dict[str, float]:
+        """Reservoir-estimated quantiles (exact while count <= capacity)."""
+        return percentiles(self._sample, qs)
+
+    def summary(self) -> Dict[str, float]:
+        """One flat dict: count, mean, min, max, p50/p95/p99."""
+        out = {
+            "count": float(self.count),
+            "mean": self.mean,
+            "min": self.min if self.count else float("nan"),
+            "max": self.max if self.count else float("nan"),
+        }
+        out.update(self.percentiles())
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ReservoirTimer(count={self.count}, mean={self.mean:.4g})"
+
+
+class Span:
+    """One closed simulated-time interval (slotted; traces hold thousands).
+
+    ``category`` is the span taxonomy name (``phase.enroll``, ...), ``key``
+    identifies the instance (usually the job id), ``site`` the lane it
+    renders on, ``ok`` whether the phase ended in success, and ``labels``
+    ride into the exporter's ``args``.
+    """
+
+    __slots__ = ("category", "key", "site", "t0", "t1", "ok", "labels")
+
+    def __init__(
+        self,
+        category: str,
+        key: Any,
+        site: Optional[SiteId],
+        t0: Time,
+        t1: Time,
+        ok: bool = True,
+        labels: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        self.category = category
+        self.key = key
+        self.site = site
+        self.t0 = t0
+        self.t1 = t1
+        self.ok = ok
+        self.labels = labels
+
+    @property
+    def duration(self) -> Time:
+        """``t1 - t0`` in simulated time units."""
+        return self.t1 - self.t0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        flag = "" if self.ok else " FAILED"
+        return (
+            f"Span({self.category} key={self.key} @{self.site} "
+            f"[{self.t0:.3f}, {self.t1:.3f}]{flag})"
+        )
+
+
+class Telemetry:
+    """Registry of counters, gauges, percentile timers and sim-time spans.
+
+    ``enabled=False`` (the :data:`NULL_TELEMETRY` singleton) turns every
+    method into an early-return no-op; hot call sites additionally guard
+    on a mirror boolean so the disabled path costs one branch, exactly
+    like the tracer's ``trace_on`` pattern.
+    """
+
+    def __init__(
+        self,
+        enabled: bool = True,
+        seed: int = 0,
+        reservoir: int = DEFAULT_RESERVOIR,
+    ) -> None:
+        self.enabled = bool(enabled)
+        self.seed = seed
+        self.reservoir = reservoir
+        self.counters: Dict[str, float] = {}
+        self.gauges: Dict[str, float] = {}
+        self.timers: Dict[str, ReservoirTimer] = {}
+        self.spans: List[Span] = []
+        #: (category, key) -> (t0, site, labels) of spans begun, not closed
+        self._open: Dict[Tuple[str, Any], Tuple[Time, Optional[SiteId], Optional[Dict]]] = {}
+        #: wall-clock nesting stack of :meth:`timeit` names
+        self._stack: List[str] = []
+
+    # -- counters / gauges -------------------------------------------------
+
+    def inc(self, name: str, n: float = 1.0) -> None:
+        """Add ``n`` to counter ``name`` (created at 0)."""
+        if not self.enabled:
+            return
+        self.counters[name] = self.counters.get(name, 0.0) + n
+
+    def gauge(self, name: str, value: float) -> None:
+        """Set gauge ``name`` (last write wins)."""
+        if not self.enabled:
+            return
+        self.gauges[name] = float(value)
+
+    # -- timers ------------------------------------------------------------
+
+    def timer(self, name: str) -> ReservoirTimer:
+        """The named timer, created on first use (per-name seeded RNG)."""
+        t = self.timers.get(name)
+        if t is None:
+            # per-name seed: crc32 (not hash(), which PYTHONHASHSEED
+            # randomizes) so reservoirs are independent streams fully
+            # determined by (telemetry seed, timer name) across processes
+            t = self.timers[name] = ReservoirTimer(
+                self.reservoir, seed=(zlib.crc32(name.encode()) ^ self.seed) & 0x7FFFFFFF
+            )
+        return t
+
+    def observe(self, name: str, value: float) -> None:
+        """Feed one sample to timer ``name``."""
+        if not self.enabled:
+            return
+        self.timer(name).observe(value)
+
+    # -- spans ---------------------------------------------------------------
+
+    def span(
+        self,
+        category: str,
+        t0: Time,
+        t1: Time,
+        site: Optional[SiteId] = None,
+        key: Any = None,
+        ok: bool = True,
+        **labels: Any,
+    ) -> None:
+        """Record one already-closed sim-time span (and time its duration)."""
+        if not self.enabled:
+            return
+        self.spans.append(Span(category, key, site, t0, t1, ok, labels or None))
+        self.timer(category).observe(t1 - t0)
+
+    def span_begin(
+        self, category: str, key: Any, t: Time, site: Optional[SiteId] = None, **labels: Any
+    ) -> None:
+        """Open span ``(category, key)`` at sim-time ``t``.
+
+        Re-beginning an open span overwrites its start (last writer wins)
+        — retransmission rounds restart their phase clock explicitly.
+        """
+        if not self.enabled:
+            return
+        self._open[(category, key)] = (t, site, labels or None)
+
+    def span_end(self, category: str, key: Any, t: Time, ok: bool = True) -> Optional[Span]:
+        """Close span ``(category, key)`` at ``t``; tolerant no-op if it was
+        never opened (teardown paths may close speculatively)."""
+        if not self.enabled:
+            return None
+        opened = self._open.pop((category, key), None)
+        if opened is None:
+            return None
+        t0, site, labels = opened
+        span = Span(category, key, site, t0, t, ok, labels)
+        self.spans.append(span)
+        self.timer(category).observe(t - t0)
+        return span
+
+    def open_spans(self) -> List[Tuple[str, Any]]:
+        """Keys of spans begun but not yet ended (leak diagnostics)."""
+        return sorted(self._open, key=repr)
+
+    # -- wall-clock measurement --------------------------------------------
+
+    @contextmanager
+    def timeit(self, name: str) -> Iterator[None]:
+        """Exception-safe wall-clock timer; nesting builds ``outer/inner``.
+
+        The duration lands in the timer named by the full nested path. An
+        exception still records the duration, increments
+        ``<path>.errors``, pops the stack, and propagates — a failing
+        phase can never corrupt the nesting of its parent.
+        """
+        if not self.enabled:
+            yield
+            return
+        self._stack.append(name)
+        path = "/".join(self._stack)
+        t0 = time.perf_counter()
+        try:
+            yield
+        except BaseException:
+            self.inc(path + ".errors")
+            raise
+        finally:
+            self.observe(path, time.perf_counter() - t0)
+            self._stack.pop()
+
+    # -- resource sampling ---------------------------------------------------
+
+    def sample_rss(self, name: str = "run.rss_mb") -> Optional[float]:
+        """Gauge the process's peak RSS in MB (None where unsupported)."""
+        if not self.enabled:
+            return None
+        rss = rss_mb()
+        if rss is not None:
+            self.gauge(name, rss)
+        return rss
+
+    # -- export --------------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Plain-dict view of everything (the metrics JSONL's source)."""
+        return {
+            "counters": dict(self.counters),
+            "gauges": dict(self.gauges),
+            "timers": {name: t.summary() for name, t in self.timers.items()},
+            "spans": len(self.spans),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        if not self.enabled:
+            return "Telemetry(disabled)"
+        return (
+            f"Telemetry(counters={len(self.counters)}, gauges={len(self.gauges)}, "
+            f"timers={len(self.timers)}, spans={len(self.spans)})"
+        )
+
+
+def rss_mb() -> Optional[float]:
+    """Current peak RSS of this process in MB (None where unsupported).
+
+    Linux reports ``ru_maxrss`` in KB, macOS in bytes; both are covered.
+    Used by the runner's end-of-run sample and the per-cell campaign
+    snapshot — the numbers the E12 soak roadmap item tracks over time.
+    """
+    try:
+        import resource
+        import sys
+
+        peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+        if sys.platform == "darwin":  # pragma: no cover - linux CI
+            return peak / (1024.0 * 1024.0)
+        return peak / 1024.0
+    except (ImportError, ValueError):  # pragma: no cover - non-posix
+        return None
+
+
+#: The shared disabled instance: what every hot path holds when telemetry
+#: is off. Its methods early-return before touching any state, so one
+#: instance is safely shared by every site, network and engine.
+NULL_TELEMETRY = Telemetry(enabled=False)

@@ -33,9 +33,20 @@ class SchedulingPlan:
         speed is carried here so *work* accounting
         (:meth:`work_between`) can convert busy time back to executed
         complexity units.
+    obs:
+        Optional :class:`repro.obs.Telemetry`: commit/surplus accounting
+        samples land there when it is enabled. ``None`` (the default)
+        keeps the plan entirely untelemetered — the ``_obs_on`` mirror
+        makes that path one boolean test.
     """
 
-    def __init__(self, site: SiteId, surplus_window: Time = 200.0, speed: float = 1.0) -> None:
+    def __init__(
+        self,
+        site: SiteId,
+        surplus_window: Time = 200.0,
+        speed: float = 1.0,
+        obs=None,
+    ) -> None:
         if surplus_window <= 0:
             raise SchedulingError(f"surplus_window must be > 0, got {surplus_window}")
         if speed <= 0:
@@ -44,6 +55,13 @@ class SchedulingPlan:
         self.speed = speed
         self.surplus_window = surplus_window
         self.timeline = BusyTimeline()
+        self._obs = obs
+        self._obs_on = obs is not None and obs.enabled
+        if self._obs_on:
+            # pre-bound timer: surplus() runs on every enrollment decision,
+            # so its telemetry path skips the registry lookup (E9 macro_obs
+            # overhead gate); queries are counted from the timer's count
+            self._obs_surplus = obs.timer("plan.surplus")
         #: job -> list of its reservations (insertion order)
         self._jobs: Dict[JobId, List[Reservation]] = {}
 
@@ -57,7 +75,10 @@ class SchedulingPlan:
         """
         w = self.surplus_window if window is None else window
         idle = self.timeline.idle_time(now, now + w)
-        return min(1.0, max(0.0, idle / w))
+        value = min(1.0, max(0.0, idle / w))
+        if self._obs_on:
+            self._obs_surplus.observe(value)
+        return value
 
     def busyness(self, now: Time, window: Optional[Time] = None) -> float:
         """``1 - surplus``; the §13 laxity-dispatching weight."""
@@ -84,6 +105,9 @@ class SchedulingPlan:
             raise
         for r in reservations:
             self._jobs.setdefault(r.job, []).append(r)
+        if self._obs_on:
+            self._obs.inc("plan.commits")
+            self._obs.observe("plan.commit_batch", float(len(reservations)))
 
     def cancel_job(self, job: JobId) -> int:
         """Remove all reservations of ``job``; returns how many."""

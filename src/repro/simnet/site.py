@@ -62,6 +62,11 @@ class SiteBase:
         #: guards ``self.trace(...)`` calls on it so a disabled tracer costs
         #: not even the kwargs dict. Kept in sync by Network.set_tracing.
         self.trace_on = network.trace_enabled
+        #: the experiment's telemetry registry + its ``obs_on`` mirror —
+        #: same pattern as ``trace_on``: protocol code guards every
+        #: telemetry call on the boolean, so off costs one branch.
+        self.obs = network.obs
+        self.obs_on = network.obs_on
         self.mgmt_overhead = mgmt_overhead
         self._handlers: Dict[str, Handler] = {}
         #: destination -> adjacent next hop; filled by the routing layer.

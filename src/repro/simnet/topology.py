@@ -420,6 +420,7 @@ def build_network(
     site_factory: Callable[[SiteId, Network], object],
     tracer: Optional[Tracer] = None,
     throughput: Optional[float] = None,
+    obs=None,
 ) -> Network:
     """Instantiate a live network from a topology description.
 
@@ -431,8 +432,12 @@ def build_network(
     site after construction (the topology is the source of truth for the
     heterogeneity it describes); a factory that already passed the same
     speed — the experiment runner does — sees no change.
+
+    ``obs`` (an optional :class:`repro.obs.Telemetry`) is handed to the
+    network before any site is built, so every site's ``obs_on`` mirror is
+    correct from construction.
     """
-    net = Network(sim, tracer)
+    net = Network(sim, tracer, obs=obs)
     for sid in range(topo.n):
         site_factory(sid, net)
     for u, v, d in topo.edges:

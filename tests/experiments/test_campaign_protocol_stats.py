@@ -8,7 +8,11 @@ import pytest
 from repro.errors import ConfigError
 from repro.experiments.campaign import Aggregate, Campaign
 from repro.experiments.runner import ExperimentConfig, run_experiment
-from repro.metrics.protocol_stats import protocol_stats
+from repro.metrics.protocol_stats import (
+    lock_hold_percentiles,
+    lock_holds,
+    protocol_stats,
+)
 
 SMALL = ExperimentConfig(
     topology_kwargs={"n": 8, "p": 0.4, "delay_range": (0.2, 0.8)},
@@ -99,3 +103,25 @@ class TestProtocolStats:
         st = protocol_stats(Tracer())
         assert st.protocol_runs == 0
         assert math.isnan(st.mean_lock_hold)
+
+
+class TestLockHoldPercentiles:
+    def traced_run(self):
+        cfg = replace(SMALL, algorithm="rtds", rho=1.0, duration=200.0, trace=True, seed=5)
+        return run_experiment(cfg)
+
+    def test_percentiles_agree_with_holds(self):
+        res = self.traced_run()
+        holds = lock_holds(res.tracer)
+        assert holds and all(h >= 0.0 for h in holds)
+        p = lock_hold_percentiles(res.tracer)
+        assert min(holds) <= p["p50"] <= p["p95"] <= p["p99"] <= max(holds)
+        # mean from protocol_stats and the raw holds are the same stream
+        st = protocol_stats(res.tracer)
+        assert st.mean_lock_hold == pytest.approx(sum(holds) / len(holds))
+
+    def test_empty_tracer_all_nan(self):
+        from repro.simnet.trace import Tracer
+
+        p = lock_hold_percentiles(Tracer())
+        assert all(math.isnan(v) for v in p.values())

@@ -4,7 +4,11 @@ import math
 
 
 from repro.experiments.paper_example import run_fig1_scenario
-from repro.metrics.latency import mean_phase_breakdown, phase_latencies
+from repro.metrics.latency import (
+    mean_phase_breakdown,
+    phase_latencies,
+    phase_percentile_breakdown,
+)
 
 
 class TestPhaseLatencies:
@@ -38,3 +42,39 @@ class TestPhaseLatencies:
         mb = mean_phase_breakdown(Tracer())
         assert mb["runs"] == 0.0
         assert math.isnan(mb["total"])
+
+
+class TestPhasePercentiles:
+    def test_single_run_percentiles_collapse_to_sample(self):
+        tracer, _, _ = run_fig1_scenario()
+        pb = phase_percentile_breakdown(tracer)
+        lats = phase_latencies(tracer)
+        assert len(lats) == 1
+        # one sample: every quantile is that sample (degenerate stream)
+        for phase, attr in (("enroll+map", "enroll"), ("validate", "validate")):
+            sample = getattr(lats[0], attr)
+            assert pb[phase]["p50"] == sample
+            assert pb[phase]["p95"] == sample
+            assert pb[phase]["p99"] == sample
+
+    def test_percentiles_consistent_with_means(self):
+        tracer, _, _ = run_fig1_scenario()
+        pb = phase_percentile_breakdown(tracer)
+        mb = mean_phase_breakdown(tracer)
+        # p50 <= p95 <= p99 and bracket the mean for each phase
+        for phase in ("enroll+map", "validate", "total"):
+            p = pb[phase]
+            assert p["p50"] <= p["p95"] <= p["p99"]
+            assert p["p50"] <= mb[phase] <= p["p99"]
+
+    def test_empty_tracer_is_all_nan(self):
+        from repro.simnet.trace import Tracer
+
+        pb = phase_percentile_breakdown(Tracer())
+        for phase in ("enroll+map", "validate", "total"):
+            assert all(math.isnan(v) for v in pb[phase].values())
+
+    def test_custom_quantiles(self):
+        tracer, _, _ = run_fig1_scenario()
+        pb = phase_percentile_breakdown(tracer, qs=(25.0, 75.0))
+        assert set(pb["total"]) == {"p25", "p75"}

@@ -1,0 +1,239 @@
+"""Unit tests of the telemetry registry: percentiles, reservoirs, spans.
+
+The contracts under test are the ones DESIGN.md's observability section
+promises: nearest-rank percentile math with NaN-safe edges, bit-identical
+reservoir sampling under a fixed seed, exception-safe wall-clock nesting,
+and a disabled registry that never mutates state.
+"""
+
+import math
+
+import pytest
+
+from repro.obs.telemetry import (
+    NULL_TELEMETRY,
+    ReservoirTimer,
+    Telemetry,
+    percentile,
+    percentiles,
+)
+
+
+class TestPercentile:
+    def test_empty_stream_is_nan(self):
+        assert math.isnan(percentile([], 50.0))
+        assert all(math.isnan(v) for v in percentiles([]).values())
+
+    def test_single_sample_is_every_quantile(self):
+        for q in (0.0, 1.0, 50.0, 99.0, 100.0):
+            assert percentile([7.5], q) == 7.5
+
+    def test_nearest_rank_on_known_stream(self):
+        vals = list(range(1, 101))  # 1..100
+        assert percentile(vals, 50.0) == 50.0
+        assert percentile(vals, 95.0) == 95.0
+        assert percentile(vals, 99.0) == 99.0
+        assert percentile(vals, 100.0) == 100.0
+
+    def test_rank_clamps_to_extremes(self):
+        assert percentile([3.0, 1.0, 2.0], 0.0) == 1.0
+        assert percentile([3.0, 1.0, 2.0], 100.0) == 3.0
+
+    def test_unsorted_input_is_sorted_internally(self):
+        assert percentile([9.0, 1.0, 5.0], 50.0) == 5.0
+
+    def test_out_of_range_q_raises(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], -0.1)
+        with pytest.raises(ValueError):
+            percentile([1.0], 100.1)
+
+    def test_percentiles_keys(self):
+        assert set(percentiles([1.0, 2.0])) == {"p50", "p95", "p99"}
+        assert set(percentiles([1.0], qs=(25.0, 75.0))) == {"p25", "p75"}
+
+
+class TestReservoirTimer:
+    def test_exact_below_capacity(self):
+        t = ReservoirTimer(capacity=10, seed=1)
+        for v in [5.0, 1.0, 3.0]:
+            t.observe(v)
+        assert t.count == 3
+        assert t.total == 9.0
+        assert t.min == 1.0 and t.max == 5.0
+        assert t.mean == 3.0
+        assert t.percentiles()["p50"] == 3.0
+
+    def test_empty_summary_is_nan(self):
+        s = ReservoirTimer().summary()
+        assert s["count"] == 0.0
+        for k in ("mean", "min", "max", "p50", "p95", "p99"):
+            assert math.isnan(s[k])
+
+    def test_exact_aggregates_survive_overflow(self):
+        t = ReservoirTimer(capacity=8, seed=0)
+        for v in range(1000):
+            t.observe(float(v))
+        # the sample is bounded; count/sum/min/max stay exact
+        assert t.count == 1000
+        assert t.total == sum(range(1000))
+        assert t.min == 0.0 and t.max == 999.0
+        assert len(t._sample) == 8
+
+    def test_deterministic_under_fixed_seed(self):
+        stream = [float((i * 37) % 101) for i in range(5000)]
+        a = ReservoirTimer(capacity=64, seed=42)
+        b = ReservoirTimer(capacity=64, seed=42)
+        for v in stream:
+            a.observe(v)
+            b.observe(v)
+        assert a._sample == b._sample
+        assert a.percentiles() == b.percentiles()
+
+    def test_different_seeds_sample_differently(self):
+        stream = [float(i) for i in range(5000)]
+        a = ReservoirTimer(capacity=64, seed=1)
+        b = ReservoirTimer(capacity=64, seed=2)
+        for v in stream:
+            a.observe(v)
+            b.observe(v)
+        assert a._sample != b._sample  # overwhelmingly likely by construction
+
+    def test_reservoir_estimate_is_reasonable(self):
+        t = ReservoirTimer(capacity=256, seed=7)
+        for v in range(10_000):
+            t.observe(float(v))
+        p50 = t.percentiles()["p50"]
+        assert 3000.0 < p50 < 7000.0  # uniform stream: true p50 = 5000
+
+    def test_bad_capacity_raises(self):
+        with pytest.raises(ValueError):
+            ReservoirTimer(capacity=0)
+
+
+class TestTelemetryRegistry:
+    def test_counters_and_gauges(self):
+        obs = Telemetry()
+        obs.inc("a")
+        obs.inc("a", 2.0)
+        obs.gauge("g", 1.0)
+        obs.gauge("g", 9.0)
+        assert obs.counters["a"] == 3.0
+        assert obs.gauges["g"] == 9.0
+
+    def test_timer_seed_is_name_derived_and_process_stable(self):
+        # same (telemetry seed, timer name) -> identical reservoirs, even
+        # across interpreters (crc32, not PYTHONHASHSEED-randomized hash())
+        x = Telemetry(seed=5)
+        y = Telemetry(seed=5)
+        for i in range(2000):
+            x.observe("t", float(i))
+            y.observe("t", float(i))
+        assert x.timer("t")._sample == y.timer("t")._sample
+
+    def test_snapshot_shape(self):
+        obs = Telemetry()
+        obs.inc("c")
+        obs.gauge("g", 2.0)
+        obs.observe("t", 1.0)
+        obs.span("phase.x", 0.0, 1.0, site=3, key=0)
+        snap = obs.snapshot()
+        assert snap["counters"] == {"c": 1.0}
+        assert snap["gauges"] == {"g": 2.0}
+        assert snap["spans"] == 1
+        assert snap["timers"]["t"]["count"] == 1.0
+
+
+class TestSpans:
+    def test_closed_span_feeds_same_named_timer(self):
+        obs = Telemetry()
+        obs.span("phase.enroll", 2.0, 5.0, site=1, key=7, asked=3)
+        (s,) = obs.spans
+        assert (s.category, s.key, s.site, s.duration) == ("phase.enroll", 7, 1, 3.0)
+        assert s.labels == {"asked": 3}
+        assert obs.timer("phase.enroll").count == 1
+
+    def test_begin_end_pairing(self):
+        obs = Telemetry()
+        obs.span_begin("phase.validate", 7, 10.0, site=2)
+        assert obs.open_spans() == [("phase.validate", 7)]
+        s = obs.span_end("phase.validate", 7, 13.0, ok=False)
+        assert s is not None and s.duration == 3.0 and not s.ok
+        assert obs.open_spans() == []
+
+    def test_end_without_begin_is_tolerant(self):
+        obs = Telemetry()
+        assert obs.span_end("phase.map", 99, 1.0) is None
+        assert obs.spans == []
+
+    def test_rebegin_overwrites_start(self):
+        obs = Telemetry()
+        obs.span_begin("phase.enroll", 1, 0.0)
+        obs.span_begin("phase.enroll", 1, 5.0)  # retransmission restarts
+        s = obs.span_end("phase.enroll", 1, 8.0)
+        assert s.t0 == 5.0 and s.duration == 3.0
+        assert len(obs.spans) == 1
+
+    def test_same_key_different_categories_nest(self):
+        obs = Telemetry()
+        obs.span_begin("phase.enroll", 1, 0.0)
+        obs.span_begin("phase.map", 1, 2.0)
+        obs.span_end("phase.map", 1, 3.0)
+        obs.span_end("phase.enroll", 1, 4.0)
+        assert [s.category for s in obs.spans] == ["phase.map", "phase.enroll"]
+        assert obs.open_spans() == []
+
+
+class TestTimeit:
+    def test_nesting_builds_paths(self):
+        obs = Telemetry()
+        with obs.timeit("outer"):
+            with obs.timeit("inner"):
+                pass
+        assert set(obs.timers) == {"outer", "outer/inner"}
+
+    def test_exception_safety(self):
+        obs = Telemetry()
+        with pytest.raises(RuntimeError):
+            with obs.timeit("outer"):
+                with obs.timeit("boom"):
+                    raise RuntimeError("x")
+        # durations recorded, error counted, stack fully unwound
+        assert obs.timers["outer/boom"].count == 1
+        assert obs.timers["outer"].count == 1
+        assert obs.counters["outer/boom.errors"] == 1.0
+        assert obs.counters["outer.errors"] == 1.0
+        with obs.timeit("clean"):
+            pass
+        assert "clean" in obs.timers  # no stale path prefix survived
+
+
+class TestDisabled:
+    def test_all_mutators_are_noops(self):
+        obs = Telemetry(enabled=False)
+        obs.inc("c")
+        obs.gauge("g", 1.0)
+        obs.observe("t", 1.0)
+        obs.span("phase.x", 0.0, 1.0)
+        obs.span_begin("phase.x", 1, 0.0)
+        assert obs.span_end("phase.x", 1, 1.0) is None
+        assert obs.sample_rss() is None
+        with obs.timeit("w"):
+            pass
+        assert not obs.counters and not obs.gauges
+        assert not obs.timers and not obs.spans
+        assert obs.open_spans() == []
+
+    def test_null_singleton_stays_empty(self):
+        # the shared disabled instance must never accumulate state
+        NULL_TELEMETRY.inc("x")
+        NULL_TELEMETRY.span("phase.x", 0.0, 1.0)
+        assert not NULL_TELEMETRY.counters
+        assert not NULL_TELEMETRY.spans
+
+    def test_disabled_timeit_propagates_exceptions(self):
+        obs = Telemetry(enabled=False)
+        with pytest.raises(ValueError):
+            with obs.timeit("w"):
+                raise ValueError("x")
+        assert not obs.counters

@@ -53,6 +53,23 @@ class TestDesignMd:
             assert concept.lower() in lower, f"DESIGN.md must document {concept!r}"
         assert "bench_e11_hetero.py" in text
 
+    def test_observability_section(self):
+        """DESIGN.md §12 must document the telemetry cost contract."""
+        text = read("DESIGN.md")
+        assert "Observability model" in text
+        assert "`repro.obs`" in text
+        lower = text.lower()
+        for concept in (
+            "bit-for-bit invisible",
+            "macro_obs",
+            "null_telemetry",
+            "reservoir",
+            "chrome trace",
+            "phase.enroll",
+        ):
+            assert concept.lower() in lower, f"DESIGN.md must document {concept!r}"
+        assert "bench_e9_hotpath.py" in text
+
     def test_parallel_runtime_section(self):
         """The campaign runtime must stay documented where it is built."""
         text = read("DESIGN.md")
@@ -107,6 +124,15 @@ class TestExperimentsMd:
         assert "bench_e10_widenet.py" in text
         assert "BENCH_e10.json" in text
         assert "rtds sweep-widenet" in text
+
+    def test_observability_entry_names_tools_and_gate(self):
+        """The observability entry must show the trace/stats CLI and the gate."""
+        text = read("EXPERIMENTS.md")
+        assert "rtds trace" in text
+        assert "rtds stats" in text
+        assert "--paper-example" in text
+        assert "macro_obs" in text
+        assert "--backend telemetry" in text
 
     def test_e11_entry_names_gate_and_cli(self):
         """E11 must document its drift gate, differential check and CLI."""

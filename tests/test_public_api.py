@@ -37,6 +37,7 @@ PACKAGES = [
     "repro.workloads",
     "repro.metrics",
     "repro.experiments",
+    "repro.obs",
     "repro.viz",
 ]
 
