@@ -1,0 +1,221 @@
+"""E12 — long-lived admission soak (throughput, latency, memory flatness).
+
+One measurement: :func:`repro.experiments.soak.run_soak` pushes
+``--target-jobs`` (default 10^5) open-loop jobs through a single resident
+48-site network via the admission service, and reports:
+
+* **deterministic** scalars — job count, guarantee ratio, cumulative
+  p50/p99 admission latency (simulated time). These are a pure function
+  of the seed and gate *drift* tightly, like every other bench here.
+* **machine-dependent** scalars — wall jobs/sec (gated only by a loose
+  floor relative to the committed baseline) and the RSS trajectory.
+* **contracts** — RSS growth over the final 80% of the run must stay
+  under ``--rss-limit`` (default 5%) of peak, and zero executor records
+  may leak past the drain. These are absolute, not baseline-relative:
+  a soak that leaks is wrong on any machine.
+
+Standalone (CI) usage::
+
+    PYTHONPATH=src python benchmarks/bench_e12_soak.py --out BENCH_e12.json
+    PYTHONPATH=src python benchmarks/bench_e12_soak.py --check BENCH_e12.json
+
+Under pytest (``pytest benchmarks/ --benchmark-only``) a small smoke soak
+runs once and the table lands in ``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+from typing import Dict
+
+from repro.experiments.soak import SoakConfig, run_soak
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
+
+#: the committed-baseline soak shape (the acceptance-criteria run)
+FULL_CONFIG = dict(n_sites=48, target_jobs=100_000, rho=0.6, seed=0)
+#: the pytest smoke shape: same machinery, minutes -> seconds
+SMOKE_CONFIG = dict(n_sites=16, target_jobs=3_000, rho=0.5, sample_every=500, seed=0)
+
+
+def measure(**overrides) -> Dict[str, object]:
+    """One soak run; returns its scalar metrics plus sample count."""
+    config = SoakConfig(**{**FULL_CONFIG, **overrides})
+    report = run_soak(config)
+    out: Dict[str, object] = report.scalar_metrics()
+    out["n_samples"] = len(report.samples)
+    return out
+
+
+def render(results: Dict[str, object]) -> str:
+    """Human-readable summary of one measurement."""
+    return "\n".join(
+        [
+            f"jobs                {int(results['n_jobs'])}",
+            f"wall seconds        {results['wall_s']:.1f}",
+            f"jobs/sec            {results['jobs_per_sec']:.0f}",
+            f"guarantee ratio     {results['guarantee_ratio']:.4f}",
+            f"effective ratio     {results['effective_ratio']:.4f}",
+            f"admission p50/p99   {results['lat_p50']:.3f} / {results['lat_p99']:.3f}",
+            f"max queue depth     {int(results['max_queue_depth'])}",
+            f"rss peak/final MB   {results['rss_peak_mb']:.1f} / {results['rss_final_mb']:.1f}",
+            f"rss growth (f80)    {results['rss_growth_final80']:.4f}",
+            f"leaked unfinished   {int(results['leaked_unfinished'])}",
+            f"records live/folded {int(results['live_records_final'])} / {int(results['folded_total'])}",
+        ]
+    )
+
+
+def check_regression(
+    results: Dict[str, object],
+    baseline_path: pathlib.Path,
+    gr_tolerance: float,
+    lat_tolerance: float,
+    throughput_floor: float,
+    rss_limit: float,
+) -> int:
+    """Gate one measurement against the committed baseline.
+
+    Deterministic metrics (job count, GR, p99 latency) gate drift;
+    jobs/sec gates only a loose floor; the RSS-flatness and zero-leak
+    contracts are absolute.
+    """
+    baseline = json.loads(baseline_path.read_text())["scenarios"]
+    failures = []
+    if int(results["n_jobs"]) != int(baseline["n_jobs"]):
+        failures.append(
+            f"job count changed: {results['n_jobs']} vs baseline {baseline['n_jobs']} "
+            "(the seeded open-loop stream is no longer deterministic)"
+        )
+    drift = abs(results["guarantee_ratio"] - baseline["guarantee_ratio"])
+    if drift > gr_tolerance:
+        failures.append(
+            f"GR {results['guarantee_ratio']:.4f} vs baseline "
+            f"{baseline['guarantee_ratio']:.4f} (drift {drift:.4f} > {gr_tolerance})"
+        )
+    base_p99 = baseline["lat_p99"]
+    if base_p99 > 0:
+        rel = abs(results["lat_p99"] - base_p99) / base_p99
+        if rel > lat_tolerance:
+            failures.append(
+                f"admission p99 {results['lat_p99']:.3f} vs baseline {base_p99:.3f} "
+                f"(relative drift {rel:.3f} > {lat_tolerance})"
+            )
+    floor = baseline["jobs_per_sec"] * throughput_floor
+    if results["jobs_per_sec"] < floor:
+        failures.append(
+            f"throughput {results['jobs_per_sec']:.0f} jobs/sec below floor "
+            f"{floor:.0f} ({throughput_floor:.0%} of baseline {baseline['jobs_per_sec']:.0f})"
+        )
+    if results["rss_growth_final80"] > rss_limit:
+        failures.append(
+            f"RSS grew {results['rss_growth_final80']:.1%} of peak over the final "
+            f"80% of the run (limit {rss_limit:.0%}) — memory is not flat"
+        )
+    if int(results["leaked_unfinished"]) != 0:
+        failures.append(
+            f"{results['leaked_unfinished']} executor records leaked past the drain"
+        )
+    if failures:
+        for f in failures:
+            print(f"E12 REGRESSION: {f}", file=sys.stderr)
+        return 1
+    print(
+        f"e12 ok: {int(results['n_jobs'])} jobs, GR within {gr_tolerance}, "
+        f"p99 within {lat_tolerance:.0%}, throughput above {throughput_floor:.0%} "
+        f"of baseline, RSS flat, zero leaks"
+    )
+    return 0
+
+
+def write_json(results: Dict[str, object], path: pathlib.Path, gates: Dict[str, float]) -> None:
+    """Persist one measurement as the committed-baseline JSON shape."""
+    path.write_text(
+        json.dumps(
+            {"bench": "e12_soak", "gate": gates, "scenarios": results},
+            indent=2,
+            sort_keys=True,
+        )
+        + "\n"
+    )
+
+
+# -- pytest entry point ------------------------------------------------------
+
+
+def test_e12_soak(benchmark, emit):
+    """Smoke soak: the full pipeline at 3k jobs, contracts asserted."""
+    from benchmarks.conftest import once
+
+    results = once(benchmark, measure, **SMOKE_CONFIG)
+    emit("e12_soak", render(results))
+    assert int(results["leaked_unfinished"]) == 0
+    assert int(results["live_records_final"]) == 0
+    assert results["guarantee_ratio"] > 0.5
+    assert int(results["max_queue_depth"]) <= SoakConfig().queue_capacity
+    assert results["rss_growth_final80"] < 0.15
+
+
+def main(argv=None) -> int:
+    """CLI entry: measure, render, optionally write/gate the baseline."""
+    parser = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
+    parser.add_argument("--sites", type=int, default=FULL_CONFIG["n_sites"])
+    parser.add_argument("--target-jobs", type=int, default=FULL_CONFIG["target_jobs"])
+    parser.add_argument("--rho", type=float, default=FULL_CONFIG["rho"])
+    parser.add_argument("--seed", type=int, default=FULL_CONFIG["seed"])
+    parser.add_argument("--out", type=pathlib.Path, default=None, help="write BENCH_e12.json here")
+    parser.add_argument(
+        "--check", type=pathlib.Path, default=None,
+        help="baseline BENCH_e12.json to gate against",
+    )
+    parser.add_argument(
+        "--metrics", type=pathlib.Path, default=None,
+        help="write the per-sample trajectory JSONL here (CI artifact)",
+    )
+    parser.add_argument("--gr-tolerance", type=float, default=0.02)
+    parser.add_argument(
+        "--lat-tolerance", type=float, default=0.05,
+        help="max relative p99 admission-latency drift",
+    )
+    parser.add_argument(
+        "--throughput-floor", type=float, default=0.4,
+        help="fail --check below this fraction of baseline jobs/sec",
+    )
+    parser.add_argument(
+        "--rss-limit", type=float, default=0.05,
+        help="max RSS growth over the final 80%% of the run, as fraction of peak",
+    )
+    args = parser.parse_args(argv)
+
+    config = SoakConfig(
+        n_sites=args.sites, target_jobs=args.target_jobs, rho=args.rho, seed=args.seed
+    )
+    report = run_soak(config)
+    results: Dict[str, object] = report.scalar_metrics()
+    results["n_samples"] = len(report.samples)
+    print(render(results))
+    if args.metrics is not None:
+        report.write_samples_jsonl(args.metrics)
+        print(f"wrote {len(report.samples)} samples to {args.metrics}")
+    gates = {
+        "gr_tolerance": args.gr_tolerance,
+        "lat_tolerance": args.lat_tolerance,
+        "throughput_floor": args.throughput_floor,
+        "rss_limit": args.rss_limit,
+    }
+    if args.out is not None:
+        write_json(results, args.out, gates)
+        print(f"wrote {args.out}")
+    if args.check is not None:
+        return check_regression(
+            results, args.check, args.gr_tolerance, args.lat_tolerance,
+            args.throughput_floor, args.rss_limit,
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

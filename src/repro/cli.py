@@ -13,6 +13,7 @@
     rtds sweep-widenet --sizes 256,512,1024 --kinds geometric,barabasi_albert --jobs 4
     rtds sweep-hetero --speeds uniform,skew:4 --workloads synthetic,trace:montage --jobs 4
     rtds run --sites 512 --routing oracle      # vectorized setup, no simulated routing
+    rtds soak --target-jobs 100000 --arrival auto --metrics soak.jsonl   # E12
 
 ``campaign`` and ``sweep-faults`` run through the parallel campaign
 runtime (:mod:`repro.experiments.parallel`): ``--jobs N`` fans the cell
@@ -511,6 +512,59 @@ def _cmd_ablations(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_soak(args: argparse.Namespace) -> int:
+    import pathlib
+
+    from repro.experiments.soak import SoakConfig, SoakSample, run_soak
+
+    cfg = SoakConfig(
+        n_sites=args.sites,
+        arrival=args.arrival,
+        rho=args.rho,
+        target_jobs=args.target_jobs,
+        queue_capacity=args.queue_capacity,
+        laxity_factor=args.laxity,
+        sample_every=args.sample_every,
+        algorithm=args.algorithm,
+        routing_mode=args.routing,
+        seed=args.seed,
+    )
+
+    def progress(s: SoakSample) -> None:
+        print(
+            f"  jobs {s.jobs_decided:>8}  sim {s.sim_time:>9.1f}  "
+            f"{s.jobs_per_sec:>7.0f} j/s  GR {s.guarantee_ratio:.4f}  "
+            f"p99 {s.lat_p99:>7.3f}  q {s.queue_depth:>5}  "
+            f"rss {s.rss_mb:>6.1f}MB  live {s.live_records:>6}",
+            file=sys.stderr,
+        )
+
+    report = run_soak(cfg, progress=progress)
+    print(
+        format_kv(
+            f"E12 soak ({args.arrival}, {args.sites} sites)",
+            {
+                "jobs": report.n_jobs,
+                "wall_s": round(report.wall_s, 2),
+                "jobs_per_sec": round(report.jobs_per_sec, 1),
+                "sim_time": round(report.sim_time, 1),
+                "GR": round(report.guarantee_ratio, 4),
+                "effGR": round(report.effective_ratio, 4),
+                "lat_p50": round(report.lat_p50, 3),
+                "lat_p99": round(report.lat_p99, 3),
+                "max_queue_depth": report.max_queue_depth,
+                "rss_peak_mb": round(report.rss_peak_mb, 1),
+                "rss_growth_final80": round(report.rss_growth_final80, 4),
+                "leaked_unfinished": report.leaked_unfinished,
+            },
+        )
+    )
+    if args.metrics is not None:
+        report.write_samples_jsonl(pathlib.Path(args.metrics))
+        print(f"wrote {len(report.samples)} samples to {args.metrics}")
+    return 0 if report.leaked_unfinished == 0 else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The ``rtds`` argument parser (exposed for docs/completion tooling)."""
     parser = argparse.ArgumentParser(prog="rtds", description=__doc__)
@@ -670,6 +724,41 @@ def build_parser() -> argparse.ArgumentParser:
     p_ab = sub.add_parser("sweep-ablations", help="E5 §13 generalization ablations")
     common(p_ab)
 
+    p_soak = sub.add_parser(
+        "soak",
+        help="E12 long-lived admission soak: open-loop stream into one "
+        "resident network (jobs/sec, interval p99s, flat-RSS audit)",
+    )
+    p_soak.add_argument("--sites", type=int, default=48)
+    p_soak.add_argument(
+        "--arrival", default="auto",
+        help='arrival process: "auto" (Poisson at --rho), "poisson:RATE", '
+        '"mmpp:R1,R2@S1,S2" or "diurnal:VOLUME@DAY[@AMP]"',
+    )
+    p_soak.add_argument("--rho", type=float, default=0.6)
+    p_soak.add_argument(
+        "--target-jobs", type=int, default=100_000, dest="target_jobs",
+        help="jobs to push through the resident network",
+    )
+    p_soak.add_argument(
+        "--queue-capacity", type=int, default=1024, dest="queue_capacity",
+        help="admission queue bound (backpressure beyond this)",
+    )
+    p_soak.add_argument("--laxity", type=float, default=3.0)
+    p_soak.add_argument(
+        "--sample-every", type=int, default=2000, dest="sample_every",
+        help="decisions between trajectory samples",
+    )
+    p_soak.add_argument("--algorithm", default="rtds")
+    p_soak.add_argument(
+        "--routing", default="protocol", choices=["protocol", "oracle"]
+    )
+    p_soak.add_argument("--seed", type=int, default=0)
+    p_soak.add_argument(
+        "--metrics", default=None,
+        help="write the per-sample trajectory as JSONL here (CI artifact)",
+    )
+
     return parser
 
 
@@ -691,6 +780,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "sweep-faults": _cmd_sweep_faults,
         "sweep-widenet": _cmd_sweep_widenet,
         "sweep-hetero": _cmd_sweep_hetero,
+        "soak": _cmd_soak,
     }
     return commands[args.command](args)
 

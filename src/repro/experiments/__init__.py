@@ -20,6 +20,10 @@
   oracle routing back end);
 * :mod:`repro.experiments.hetero` — the E11 heterogeneity campaign
   (per-site speed profiles × trace-driven workflow workloads);
+* :mod:`repro.experiments.soak` — the E12 long-lived admission soak:
+  an open-loop stream through one resident network via the admission
+  service (:mod:`repro.service`), with throughput / interval-latency /
+  memory-flatness trajectory sampling;
 * :mod:`repro.experiments.reporting` — plain-text tables.
 """
 
@@ -40,7 +44,15 @@ from repro.experiments.parallel import (
     run_cell,
     run_cells,
 )
-from repro.experiments.runner import ExperimentConfig, RunResult, run_experiment
+from repro.experiments.runner import (
+    ExperimentConfig,
+    ResidentNetwork,
+    RunResult,
+    build_resident,
+    run_experiment,
+    run_experiment_with_workload,
+)
+from repro.experiments.soak import SoakConfig, SoakReport, SoakSample, run_soak
 from repro.experiments.verify import assert_sound, verify_execution
 from repro.experiments.paper_example import (
     PAPER_DEADLINE,
@@ -80,8 +92,15 @@ __all__ = [
     "run_cell",
     "run_cells",
     "ExperimentConfig",
+    "ResidentNetwork",
     "RunResult",
+    "build_resident",
     "run_experiment",
+    "run_experiment_with_workload",
+    "SoakConfig",
+    "SoakReport",
+    "SoakSample",
+    "run_soak",
     "assert_sound",
     "verify_execution",
     "E10_KINDS",

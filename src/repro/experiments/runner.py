@@ -13,6 +13,12 @@ example uses. A run has two phases:
 
 Determinism: everything derives from ``config.seed`` — topology delays,
 workload, random-offload choices, and the tie-break rules are seed-free.
+
+The two phases are also exposed separately: :func:`build_resident` runs
+phase 1 and returns a live :class:`ResidentNetwork` (the always-on network
+the admission service of :mod:`repro.service` keeps feeding), and
+:func:`run_experiment_with_workload` pushes an explicit job list through a
+fresh resident — the replay half of the service ≡ batch differential.
 """
 
 from __future__ import annotations
@@ -49,7 +55,7 @@ from repro.simnet.network import Network
 from repro.simnet.speeds import resolve_site_speeds
 from repro.simnet.topology import Topology, build_network, topology_factory
 from repro.simnet.trace import Tracer
-from repro.workloads.jobs import Workload
+from repro.workloads.jobs import JobSpec, Workload
 from repro.workloads.scenarios import WorkloadSpec, generate_workload
 
 ALGORITHMS = ("rtds", "local", "centralized", "focused", "random")
@@ -362,13 +368,102 @@ def _gc_paused():
         gc.enable()
 
 
-def run_experiment(config: ExperimentConfig) -> RunResult:
-    """Build, run, summarize one experiment."""
-    with _gc_paused():
-        return _run_experiment(config)
+@dataclass
+class ResidentNetwork:
+    """A routed, live network with no workload yet — phase 1's product.
+
+    The batch runner builds one, pushes a generated workload through it and
+    tears it down; the admission service (:mod:`repro.service`) keeps one
+    resident for its whole lifetime and feeds it jobs as they arrive. Both
+    submit through :meth:`submit_spec`, which is why the two paths produce
+    identical schedules for identical job streams (the service ≡ batch
+    differential).
+
+    Job times in a :class:`~repro.workloads.jobs.JobSpec` are
+    workload-relative; :attr:`shift` (= setup time) converts them to
+    simulation time exactly as the batch runner always has.
+    """
+
+    config: ExperimentConfig
+    topology: Topology
+    sim: Simulator
+    tracer: Tracer
+    metrics: MetricsCollector
+    network: Network
+    sites: List[Any]
+    setup_messages: int
+    setup_time: float
+    obs: Optional[Any] = None
+    injector: Optional[FaultInjector] = None
+
+    @property
+    def shift(self) -> float:
+        """Workload-relative → simulation-time offset (== setup time)."""
+        return self.setup_time
+
+    def capacities(self) -> List[float]:
+        """Per-site computing powers (workload calibration input)."""
+        return [
+            _speed_of(self.config, self.topology, sid)
+            for sid in range(self.topology.n)
+        ]
+
+    def submit_spec(self, job: JobSpec) -> None:
+        """Submit one job *now* (``sim.now`` should be its shifted arrival).
+
+        Fault-aware: a job arriving on a partitioned site is recorded as
+        :attr:`~repro.core.events.JobOutcome.LOST_SITE_DOWN` so churn
+        degrades the guarantee ratio instead of shrinking its denominator.
+        """
+        site = self.network.site(job.origin)
+        if self.injector is not None and self.injector.site_down(site.sid):
+            self.injector.stats.jobs_dropped += 1
+            self.tracer.emit(self.sim.now, "fault.job_dropped", site.sid, job=job.job)
+            self.metrics.register_job(
+                JobRecord(
+                    job=job.job,
+                    origin=site.sid,
+                    arrival=self.sim.now,
+                    deadline=self.shift + job.deadline,
+                    n_tasks=len(job.dag),
+                    total_work=job.dag.total_complexity(),
+                )
+            )
+            self.metrics.decide(job.job, JobOutcome.LOST_SITE_DOWN, self.sim.now)
+            return
+        site.submit_job(job.job, job.dag, self.shift + job.deadline)
+
+    def schedule_job(self, job: JobSpec) -> None:
+        """Schedule one job's submission at its shifted arrival time."""
+        self.sim.schedule_at(self.shift + job.arrival, lambda j=job: self.submit_spec(j))
+
+    def prune_pass(self) -> None:
+        """One memory-hygiene pass: sites forget settled history older than
+        one surplus window (decision-neutral, see ``RTDSSite.prune_history``)."""
+        keep_from = self.sim.now - self.config.surplus_window
+        if keep_from <= 0:
+            return
+        for s in self.sites:
+            prune = getattr(s, "prune_history", None)
+            if prune is not None:
+                prune(keep_from)
+
+    def unfinished_plan_records(self) -> int:
+        """Total committed-but-unfinished executor records across all sites.
+
+        The soak's leak audit: after a full drain this must be 0 — anything
+        else is a reservation that leaked out of a plan.
+        """
+        return sum(s.executor.n_unfinished() for s in self.sites)
 
 
-def _run_experiment(config: ExperimentConfig) -> RunResult:
+def build_resident(config: ExperimentConfig) -> ResidentNetwork:
+    """Phase 1 alone: build the network, run routing, return it live.
+
+    Everything :func:`run_experiment` does before the workload exists —
+    identical construction order, so a resident built here and fed the
+    batch workload reproduces ``run_experiment`` exactly.
+    """
     rng = np.random.default_rng(config.seed)
     topo = topology_factory(config.topology, rng=rng, **config.topology_kwargs)
     # Resolve the heterogeneity profile once and carry it on the topology —
@@ -439,8 +534,50 @@ def _run_experiment(config: ExperimentConfig) -> RunResult:
             )
     setup_messages = net.stats.total
     setup_time = sim.now
+    return ResidentNetwork(
+        config=config,
+        topology=topo,
+        sim=sim,
+        tracer=tracer,
+        metrics=metrics,
+        network=net,
+        sites=sites,
+        setup_messages=setup_messages,
+        setup_time=setup_time,
+        obs=obs,
+    )
 
-    # --- phase 2: workload.
+
+def run_experiment(config: ExperimentConfig) -> RunResult:
+    """Build, run, summarize one experiment."""
+    with _gc_paused():
+        resident = build_resident(config)
+        workload = _generate_batch_workload(config, resident)
+        return _execute_workload(resident, workload)
+
+
+def run_experiment_with_workload(
+    config: ExperimentConfig, workload: Workload
+) -> RunResult:
+    """Push an explicit job list through a fresh resident network.
+
+    The replay half of the service ≡ batch differential: an open-loop
+    stream captured as a :class:`~repro.workloads.jobs.Workload` (e.g. via
+    :func:`repro.workloads.openloop.open_loop_workload`) runs through the
+    exact batch machinery, producing ``scalar_metrics`` to compare against
+    the streaming service's. Ignores the config's own workload knobs
+    (``rho``/``duration``/``dag_size``); everything else applies.
+    """
+    with _gc_paused():
+        resident = build_resident(config)
+        return _execute_workload(resident, workload)
+
+
+def _generate_batch_workload(
+    config: ExperimentConfig, resident: ResidentNetwork
+) -> Workload:
+    """Phase 2's job list: the seeded batch workload of ``config``."""
+    topo = resident.topology
     dag_factory = config.dag_factory
     if dag_factory is None and config.workload != "synthetic":
         from repro.workloads.traces import parse_workload, trace_dag_factory
@@ -463,51 +600,32 @@ def _run_experiment(config: ExperimentConfig) -> RunResult:
         deadline_jitter=config.deadline_jitter,
         hot_fraction=config.hot_fraction,
         hot_sites=config.hot_sites,
-        capacities=[_speed_of(config, topo, sid) for sid in range(topo.n)],
+        capacities=resident.capacities(),
         seed=config.seed + 7,
     )
-    workload = generate_workload(spec)
-    shift = setup_time
+    return generate_workload(spec)
 
-    injector: Optional[FaultInjector] = None
+
+def _execute_workload(resident: ResidentNetwork, workload: Workload) -> RunResult:
+    """Run a job list through a resident to completion and summarize."""
+    config = resident.config
+    sim = resident.sim
+    obs = resident.obs
+
     if config.faults is not None and not config.faults.is_zero():
-        injector = FaultInjector(net, config.faults, entropy=config.seed)
-        injector.arm(t0=shift, default_horizon=config.duration)
-
-    def submit(site, job) -> None:
-        if injector is not None and injector.site_down(site.sid):
-            # The arrival site is partitioned: the job is lost before any
-            # scheduler sees it. Record it so churn degrades the ratio
-            # instead of shrinking its denominator.
-            injector.stats.jobs_dropped += 1
-            tracer.emit(sim.now, "fault.job_dropped", site.sid, job=job.job)
-            metrics.register_job(
-                JobRecord(
-                    job=job.job,
-                    origin=site.sid,
-                    arrival=sim.now,
-                    deadline=shift + job.deadline,
-                    n_tasks=len(job.dag),
-                    total_work=job.dag.total_complexity(),
-                )
-            )
-            metrics.decide(job.job, JobOutcome.LOST_SITE_DOWN, sim.now)
-            return
-        site.submit_job(job.job, job.dag, shift + job.deadline)
+        resident.injector = FaultInjector(
+            resident.network, config.faults, entropy=config.seed
+        )
+        resident.injector.arm(t0=resident.shift, default_horizon=config.duration)
 
     for job in workload:
-        site = net.site(job.origin)
-        sim.schedule_at(shift + job.arrival, lambda s=site, j=job: submit(s, j))
-    horizon = shift + workload.last_deadline() + config.drain_margin
+        resident.schedule_job(job)
+    horizon = resident.shift + workload.last_deadline() + config.drain_margin
     if config.hygiene_interval is not None:
         interval = config.hygiene_interval
 
         def hygiene_tick() -> None:
-            keep_from = sim.now - config.surplus_window
-            for s in sites:
-                prune = getattr(s, "prune_history", None)
-                if prune is not None and keep_from > 0:
-                    prune(keep_from)
+            resident.prune_pass()
             if sim.now + interval < horizon:
                 sim.schedule(interval, hygiene_tick)
 
@@ -517,26 +635,28 @@ def _run_experiment(config: ExperimentConfig) -> RunResult:
         sim.run(until=horizon)
 
     if obs is not None:
-        _record_run_telemetry(obs, metrics, sim, setup_time, net)
+        _record_run_telemetry(
+            obs, resident.metrics, sim, resident.setup_time, resident.network
+        )
 
     summary = summarize(
         config.resolved_label(),
-        metrics,
-        n_sites=topo.n,
-        total_messages=net.stats.total,
-        setup_messages=setup_messages,
+        resident.metrics,
+        n_sites=resident.topology.n,
+        total_messages=resident.network.stats.total,
+        setup_messages=resident.setup_messages,
     )
     return RunResult(
         config=config,
         summary=summary,
-        collector=metrics,
-        network=net,
-        tracer=tracer,
-        topology=topo,
+        collector=resident.metrics,
+        network=resident.network,
+        tracer=resident.tracer,
+        topology=resident.topology,
         workload=workload,
-        setup_messages=setup_messages,
-        setup_time=setup_time,
-        faults=injector,
+        setup_messages=resident.setup_messages,
+        setup_time=resident.setup_time,
+        faults=resident.injector,
         telemetry=obs,
     )
 

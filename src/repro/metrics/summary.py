@@ -93,15 +93,38 @@ def summarize(
     total_messages: int,
     setup_messages: int = 0,
 ) -> ExperimentSummary:
-    """Fold collector + message counters into a summary."""
+    """Fold collector + message counters into a summary.
+
+    When the collector has folded records (long-lived runs), their exact
+    sums combine with the live lists; the no-folding path keeps the
+    original ``np.mean`` arithmetic so batch summaries stay bit-identical.
+    """
     records = collector.records()
-    n_jobs = len(records)
+    n_jobs = collector.n_arrived()
     latencies = [r.decision_latency for r in records if r.decision_latency is not None]
     acs_sizes = [
         r.acs_size
         for r in records
         if r.acs_size is not None and r.outcome is JobOutcome.ACCEPTED_DISTRIBUTED
     ]
+    lat_n = len(latencies) + collector.folded_latency_n
+    if collector.folded_latency_n:
+        mean_latency = (
+            (sum(latencies) + collector.folded_latency_sum) / lat_n
+            if lat_n
+            else float("nan")
+        )
+    else:
+        mean_latency = float(np.mean(latencies)) if latencies else float("nan")
+    acs_n = len(acs_sizes) + collector.folded_acs_n
+    if collector.folded_acs_n:
+        mean_acs = (
+            (sum(acs_sizes) + collector.folded_acs_sum) / acs_n
+            if acs_n
+            else float("nan")
+        )
+    else:
+        mean_acs = float(np.mean(acs_sizes)) if acs_sizes else float("nan")
     rejected_by: Dict[str, int] = {}
     for outcome in JobOutcome:
         if not outcome.accepted and outcome is not JobOutcome.PENDING:
@@ -122,8 +145,8 @@ def summarize(
         n_unfinished=collector.n_unfinished(),
         guarantee_ratio=collector.guarantee_ratio(),
         effective_ratio=collector.effective_ratio(),
-        mean_decision_latency=float(np.mean(latencies)) if latencies else float("nan"),
-        mean_acs_size=float(np.mean(acs_sizes)) if acs_sizes else float("nan"),
+        mean_decision_latency=mean_latency,
+        mean_acs_size=mean_acs,
         protocol_messages=protocol_messages,
         messages_per_job=protocol_messages / n_jobs if n_jobs else float("nan"),
         setup_messages=setup_messages,

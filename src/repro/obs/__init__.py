@@ -42,6 +42,7 @@ from repro.obs.telemetry import (
     percentile,
     percentiles,
     rss_mb,
+    current_rss_mb,
 )
 
 __all__ = [
@@ -52,6 +53,7 @@ __all__ = [
     "percentile",
     "percentiles",
     "rss_mb",
+    "current_rss_mb",
     "chrome_trace",
     "write_chrome_trace",
     "metrics_jsonl",

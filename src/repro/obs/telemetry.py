@@ -93,7 +93,10 @@ class ReservoirTimer:
     the repo's identity contract even for observability.
     """
 
-    __slots__ = ("capacity", "count", "total", "min", "max", "_sample", "_random")
+    __slots__ = (
+        "capacity", "count", "total", "min", "max", "_sample", "_random",
+        "_w_count", "_w_total", "_w_min", "_w_max", "_w_sample",
+    )
 
     def __init__(self, capacity: int = DEFAULT_RESERVOIR, seed: int = 0) -> None:
         if capacity < 1:
@@ -108,6 +111,16 @@ class ReservoirTimer:
         # float per sample, and randrange()'s pure-Python integer path is
         # too slow for the per-message streams (E9 macro_obs gate)
         self._random = random.Random(seed).random
+        # window state for :meth:`snapshot` — interval-local percentiles
+        # (the E12 soak's per-interval p99s). None until the first
+        # snapshot() call arms it, so non-windowed timers — the common
+        # case, every per-message stream — pay one predictable-false
+        # branch per observe, nothing more.
+        self._w_count = 0
+        self._w_total = 0.0
+        self._w_min = float("inf")
+        self._w_max = float("-inf")
+        self._w_sample: Optional[List[float]] = None
 
     def observe(self, value: float) -> None:
         """Feed one sample (algorithm R: O(1), bounded memory)."""
@@ -124,6 +137,55 @@ class ReservoirTimer:
             j = int(self._random() * self.count)
             if j < self.capacity:
                 sample[j] = value
+        wsample = self._w_sample
+        if wsample is not None:
+            self._w_count += 1
+            self._w_total += value
+            if value < self._w_min:
+                self._w_min = value
+            if value > self._w_max:
+                self._w_max = value
+            if len(wsample) < self.capacity:
+                wsample.append(value)
+            else:
+                j = int(self._random() * self._w_count)
+                if j < self.capacity:
+                    wsample[j] = value
+
+    def snapshot(self, qs: Sequence[float] = (50.0, 95.0, 99.0)) -> Dict[str, float]:
+        """Window summary since the previous :meth:`snapshot`, then reset.
+
+        The first call arms windowing and reports the cumulative stream so
+        far (the window since construction); every later call reports only
+        the samples observed since the previous call. Cumulative state
+        (``count``/``total``/:meth:`percentiles`) is untouched — a soak
+        can read flat interval p99s *and* the whole-run summary from one
+        timer. Interval-empty windows report count 0 and NaN quantiles.
+        """
+        if self._w_sample is None:
+            # arming call: the window-so-far IS the cumulative stream
+            out = {
+                "count": float(self.count),
+                "mean": self.mean,
+                "min": self.min if self.count else float("nan"),
+                "max": self.max if self.count else float("nan"),
+            }
+            out.update(percentiles(self._sample, qs))
+        else:
+            n = self._w_count
+            out = {
+                "count": float(n),
+                "mean": self._w_total / n if n else float("nan"),
+                "min": self._w_min if n else float("nan"),
+                "max": self._w_max if n else float("nan"),
+            }
+            out.update(percentiles(self._w_sample, qs))
+        self._w_count = 0
+        self._w_total = 0.0
+        self._w_min = float("inf")
+        self._w_max = float("-inf")
+        self._w_sample = []
+        return out
 
     @property
     def mean(self) -> float:
@@ -374,6 +436,26 @@ def rss_mb() -> Optional[float]:
         return peak / 1024.0
     except (ImportError, ValueError):  # pragma: no cover - non-posix
         return None
+
+
+def current_rss_mb() -> Optional[float]:
+    """*Current* (not peak) RSS of this process in MB, None if unreadable.
+
+    ``ru_maxrss`` is a high-water mark and can never go down, which makes
+    it useless for the E12 memory-flatness contract — a soak that balloons
+    early and then leaks nothing would still show a flat peak. This reads
+    the live resident set from ``/proc/self/statm`` (Linux); elsewhere it
+    falls back to the peak, the best available upper bound.
+    """
+    try:
+        with open("/proc/self/statm", "rb") as f:
+            fields = f.read().split()
+        import resource
+
+        page = resource.getpagesize()
+        return int(fields[1]) * page / (1024.0 * 1024.0)
+    except (OSError, ValueError, ImportError, IndexError):
+        return rss_mb()
 
 
 #: The shared disabled instance: what every hot path holds when telemetry

@@ -190,6 +190,15 @@ class PlanExecutor:
     def busy(self) -> bool:
         return self._running is not None
 
+    def n_unfinished(self) -> int:
+        """Committed-but-unfinished records — the soak leak audit's probe.
+
+        After a full drain (every accepted job past its deadline plus
+        margin) this must read 0 on every site; a nonzero value means a
+        committed reservation never executed, i.e. leaked plan state.
+        """
+        return len(self._unfinished)
+
     # -- engine ------------------------------------------------------------------
 
     def _candidates(self) -> List[Tuple[Time, str, Key]]:

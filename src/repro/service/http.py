@@ -1,0 +1,146 @@
+"""Optional HTTP/JSON frontend for the admission service (stdlib only).
+
+A deliberately small HTTP/1.1 endpoint on ``asyncio`` streams — no
+third-party web framework, per the repo's no-new-dependencies rule:
+
+* ``POST /jobs`` with ``{"deadline": 40.0, "origin": 3}`` (optional
+  ``"dag_size"``) draws a DAG from the server's seeded mix, stamps the
+  arrival at the resident's current time and enqueues it via
+  :meth:`~repro.service.admission.AdmissionService.submit_nowait` —
+  **202** with the job id, or **503** when the bounded queue sheds it.
+* ``GET /stats`` — live :class:`~repro.service.admission.ServiceStats`,
+  guarantee ratio and cumulative admission-latency summary.
+* ``POST /drain`` — graceful shutdown: flush, run the resident dry,
+  answer with the final scalar metrics.
+
+The simulation advances on the service's pump inside the same event loop,
+so a long ``advance_to`` stalls HTTP responses; this frontend is a demo
+and test surface, not a production server. The soak campaign drives the
+service directly (:mod:`repro.experiments.soak`).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.service.admission import AdmissionService
+from repro.workloads.deadlines import assign_deadline
+from repro.workloads.jobs import JobSpec
+from repro.workloads.scenarios import mixed_dag_factory
+
+_MAX_BODY = 1 << 20
+
+
+class AdmissionHTTPServer:
+    """Bind an :class:`AdmissionService` to a local HTTP port."""
+
+    def __init__(
+        self, service: AdmissionService, host: str = "127.0.0.1", port: int = 0,
+        seed: int = 0,
+    ) -> None:
+        self.service = service
+        self.host = host
+        self.port = port
+        self._rng = np.random.default_rng(seed)
+        self._factories = {}
+        self._next_id = 0
+        self._server: Optional[asyncio.AbstractServer] = None
+
+    async def start(self) -> Tuple[str, int]:
+        """Start listening; returns the bound ``(host, port)``."""
+        self._server = await asyncio.start_server(self._handle, self.host, self.port)
+        sock = self._server.sockets[0]
+        self.host, self.port = sock.getsockname()[:2]
+        return self.host, self.port
+
+    async def close(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    # -- request handling ------------------------------------------------------
+
+    async def _handle(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
+        try:
+            status, payload = await self._dispatch(reader)
+        except Exception as err:  # malformed request: answer, don't crash
+            status, payload = 400, {"error": str(err)}
+        body = json.dumps(payload).encode()
+        reason = {200: "OK", 202: "Accepted", 400: "Bad Request",
+                  404: "Not Found", 503: "Service Unavailable"}.get(status, "OK")
+        writer.write(
+            f"HTTP/1.1 {status} {reason}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: close\r\n\r\n".encode() + body
+        )
+        await writer.drain()
+        writer.close()
+
+    async def _dispatch(self, reader: asyncio.StreamReader):
+        request_line = (await reader.readline()).decode()
+        parts = request_line.split()
+        if len(parts) < 2:
+            return 400, {"error": "malformed request line"}
+        method, path = parts[0], parts[1]
+        length = 0
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode().partition(":")
+            if name.strip().lower() == "content-length":
+                length = min(int(value.strip()), _MAX_BODY)
+        body = json.loads(await reader.readexactly(length)) if length else {}
+
+        if method == "POST" and path == "/jobs":
+            return self._post_job(body)
+        if method == "GET" and path == "/stats":
+            return 200, self._stats()
+        if method == "POST" and path == "/drain":
+            await self.service.drain()
+            return 200, self.service.res.scalar_metrics()
+        return 404, {"error": f"no route {method} {path}"}
+
+    def _post_job(self, body: dict):
+        res = self.service.res
+        n_sites = res.resident.topology.n
+        origin = int(body.get("origin", self._rng.integers(n_sites)))
+        if not 0 <= origin < n_sites:
+            return 400, {"error": f"origin must be in [0, {n_sites}), got {origin}"}
+        size = body.get("dag_size", "small")
+        if size not in self._factories:
+            try:
+                self._factories[size] = mixed_dag_factory(size)
+            except WorkloadError as err:
+                return 400, {"error": str(err)}
+        dag = self._factories[size](self._rng)
+        arrival = res.now
+        if "deadline" in body:
+            deadline = arrival + float(body["deadline"])
+            if deadline <= arrival:
+                return 400, {"error": "deadline must be > 0 (relative to arrival)"}
+        else:
+            deadline = assign_deadline(dag, arrival, 3.0, self._rng)
+        job = JobSpec(
+            job=self._next_id, dag=dag, origin=origin,
+            arrival=arrival, deadline=deadline,
+        )
+        if not self.service.submit_nowait(job):
+            return 503, {"error": "queue full", "queue_depth": self.service.queue_depth}
+        self._next_id += 1
+        return 202, {"job": job.job, "origin": origin,
+                     "arrival": arrival, "deadline": deadline}
+
+    def _stats(self) -> dict:
+        out = self.service.stats.as_dict()
+        out["queue_depth"] = self.service.queue_depth
+        out["guarantee_ratio"] = self.service.res.guarantee_ratio()
+        out["latency"] = self.service.latency.summary()
+        return out

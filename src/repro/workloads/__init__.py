@@ -14,11 +14,26 @@ generates such workloads deterministically:
 * :mod:`repro.workloads.scenarios` — named mixed-DAG scenario builders used
   by examples and benches;
 * :mod:`repro.workloads.traces` — trace-driven workflow streams (Montage /
-  Epigenomics shapes with empirical per-task-type runtimes, E11).
+  Epigenomics shapes with empirical per-task-type runtimes, E11);
+* :mod:`repro.workloads.openloop` — open-loop (rate × duration) job
+  streams over the Poisson / MMPP / diurnal arrival processes, feeding the
+  admission service and the E12 soak.
 """
 
 from repro.workloads.jobs import JobSpec, Workload
-from repro.workloads.arrivals import poisson_arrivals
+from repro.workloads.arrivals import (
+    DiurnalProcess,
+    MMPPProcess,
+    PoissonProcess,
+    parse_arrival_spec,
+    poisson_arrivals,
+)
+from repro.workloads.openloop import (
+    OpenLoopSpec,
+    open_loop_jobs,
+    open_loop_rate,
+    open_loop_workload,
+)
 from repro.workloads.deadlines import assign_deadline
 from repro.workloads.load import calibrate_rate, offered_load
 from repro.workloads.scenarios import (
@@ -36,6 +51,14 @@ __all__ = [
     "JobSpec",
     "Workload",
     "poisson_arrivals",
+    "PoissonProcess",
+    "MMPPProcess",
+    "DiurnalProcess",
+    "parse_arrival_spec",
+    "OpenLoopSpec",
+    "open_loop_jobs",
+    "open_loop_workload",
+    "open_loop_rate",
     "assign_deadline",
     "calibrate_rate",
     "offered_load",

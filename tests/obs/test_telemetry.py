@@ -111,6 +111,68 @@ class TestReservoirTimer:
             ReservoirTimer(capacity=0)
 
 
+class TestWindowedSnapshot:
+    """Interval snapshots (the E12 soak's per-sample latency view)."""
+
+    def test_first_snapshot_arms_and_reports_cumulative(self):
+        t = ReservoirTimer(capacity=16, seed=0)
+        for v in [1.0, 2.0, 3.0]:
+            t.observe(v)
+        s = t.snapshot(qs=(50.0,))
+        assert s["count"] == 3.0
+        assert s["mean"] == 2.0
+        assert s["p50"] == 2.0
+
+    def test_windows_are_independent(self):
+        t = ReservoirTimer(capacity=16, seed=0)
+        for v in [10.0, 20.0]:
+            t.observe(v)
+        t.snapshot()  # arm + consume the first window
+        for v in [1.0, 3.0]:
+            t.observe(v)
+        s = t.snapshot(qs=(50.0,))
+        # the second window sees only its own samples
+        assert s["count"] == 2.0
+        assert s["mean"] == 2.0
+        assert s["min"] == 1.0 and s["max"] == 3.0
+        assert s["p50"] == 1.0 or s["p50"] == 2.0  # nearest-rank of [1, 3]
+
+    def test_cumulative_state_untouched_by_snapshots(self):
+        t = ReservoirTimer(capacity=16, seed=0)
+        for v in [10.0, 20.0]:
+            t.observe(v)
+        t.snapshot()
+        for v in [1.0, 3.0]:
+            t.observe(v)
+        t.snapshot()
+        assert t.count == 4
+        assert t.total == 34.0
+        assert t.min == 1.0 and t.max == 20.0
+        assert t.percentiles(qs=(50.0,))["p50"] in (3.0, 10.0)
+
+    def test_empty_window_reports_nan(self):
+        t = ReservoirTimer(capacity=16, seed=0)
+        t.observe(5.0)
+        t.snapshot()
+        s = t.snapshot(qs=(50.0, 99.0))
+        assert s["count"] == 0.0
+        for k in ("mean", "min", "max", "p50", "p99"):
+            assert math.isnan(s[k])
+        # and the timer keeps working after an empty window
+        t.observe(7.0)
+        assert t.snapshot(qs=(50.0,))["p50"] == 7.0
+
+    def test_window_reservoir_bounded(self):
+        t = ReservoirTimer(capacity=8, seed=3)
+        t.snapshot()  # arm
+        for v in range(1000):
+            t.observe(float(v))
+        s = t.snapshot(qs=(50.0,))
+        assert s["count"] == 1000.0
+        assert len(t._w_sample) <= 8
+        assert 100.0 < s["p50"] < 900.0
+
+
 class TestTelemetryRegistry:
     def test_counters_and_gauges(self):
         obs = Telemetry()

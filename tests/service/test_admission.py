@@ -1,0 +1,129 @@
+"""Admission service behavior: backpressure, shedding, tickets, drain."""
+
+import asyncio
+
+import pytest
+
+from repro.core.events import JobRecord
+from repro.errors import ConfigError
+from repro.experiments.runner import ExperimentConfig
+from repro.service import AdmissionService, ResidentSimulation
+from repro.workloads.arrivals import PoissonProcess
+from repro.workloads.openloop import OpenLoopSpec, open_loop_workload
+
+
+def _config(seed=0, telemetry=False):
+    return ExperimentConfig(
+        topology_kwargs={"n": 8, "p": 0.4, "delay_range": (0.2, 1.0)},
+        seed=seed,
+        telemetry=telemetry,
+    )
+
+
+def _jobs(n=30, seed=0):
+    spec = OpenLoopSpec(n_sites=8, process=PoissonProcess(1.0), seed=seed)
+    wl = open_loop_workload(spec, 2000.0)
+    return list(wl)[:n]
+
+
+def test_submit_nowait_sheds_when_full():
+    async def drive():
+        res = ResidentSimulation(_config())
+        svc = AdmissionService(res, queue_capacity=4)
+        jobs = _jobs(8)
+        accepted = [svc.submit_nowait(j) for j in jobs]
+        # pump not started: the first 4 fill the queue, the rest shed
+        assert accepted == [True] * 4 + [False] * 4
+        assert svc.stats.queue_full == 4
+        assert svc.stats.submitted == 4
+        svc.start()
+        await svc.drain()
+        return svc
+
+    svc = asyncio.run(drive())
+    assert svc.stats.decided == 4
+
+
+def test_backpressure_bounds_queue_depth():
+    async def drive():
+        res = ResidentSimulation(_config())
+        async with AdmissionService(res, queue_capacity=3) as svc:
+            for j in _jobs(40):
+                await svc.submit(j)
+        return svc
+
+    svc = asyncio.run(drive())
+    assert svc.stats.max_queue_depth <= 3
+    assert svc.stats.backpressure_waits > 0
+    assert svc.stats.decided == 40
+
+
+def test_tickets_resolve_with_records():
+    async def drive():
+        res = ResidentSimulation(_config())
+        async with AdmissionService(res, queue_capacity=16) as svc:
+            futs = [await svc.submit(j, want_ticket=True) for j in _jobs(10)]
+        return [f.result() for f in futs]
+
+    records = asyncio.run(drive())
+    assert len(records) == 10
+    for rec in records:
+        assert isinstance(rec, JobRecord)
+        assert rec.decided_at is not None
+        assert rec.decided_at >= rec.arrival
+
+
+def test_drain_is_idempotent_and_closes_intake():
+    async def drive():
+        res = ResidentSimulation(_config())
+        svc = AdmissionService(res, queue_capacity=8)
+        svc.start()
+        for j in _jobs(5):
+            await svc.submit(j)
+        await svc.drain()
+        await svc.drain()  # second drain: no-op
+        with pytest.raises(ConfigError):
+            await svc.submit(_jobs(6)[5])
+        with pytest.raises(ConfigError):
+            svc.submit_nowait(_jobs(6)[5])
+        return svc, res
+
+    svc, res = asyncio.run(drive())
+    assert svc.stats.decided == 5
+    assert res.unfinished_plan_records() == 0
+
+
+def test_obs_counters_mirrored_when_telemetry_on():
+    async def drive():
+        res = ResidentSimulation(_config(telemetry=True))
+        async with AdmissionService(res, queue_capacity=16) as svc:
+            for j in _jobs(12):
+                await svc.submit(j)
+        return res, svc
+
+    res, svc = asyncio.run(drive())
+    counters = res.resident.obs.counters
+    assert counters["service.submitted"] == 12.0
+    admitted = counters.get("service.admitted", 0.0)
+    rejected = counters.get("service.rejected", 0.0)
+    assert admitted + rejected == 12.0
+    assert admitted == float(svc.stats.admitted)
+
+
+def test_latency_timer_sees_every_decision():
+    async def drive():
+        res = ResidentSimulation(_config())
+        async with AdmissionService(res, queue_capacity=16) as svc:
+            for j in _jobs(20):
+                await svc.submit(j)
+        return svc
+
+    svc = asyncio.run(drive())
+    assert svc.latency.count == 20
+    assert svc.latency.min >= 0.0
+
+
+def test_queue_capacity_validated():
+    res = ResidentSimulation(_config())
+    with pytest.raises(ConfigError):
+        AdmissionService(res, queue_capacity=0)

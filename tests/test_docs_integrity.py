@@ -70,6 +70,24 @@ class TestDesignMd:
             assert concept.lower() in lower, f"DESIGN.md must document {concept!r}"
         assert "bench_e9_hotpath.py" in text
 
+    def test_service_section(self):
+        """DESIGN.md §13 must document the service model's contracts."""
+        text = read("DESIGN.md")
+        assert "Service model & open-loop traffic" in text
+        assert "`repro.service`" in text
+        assert "`repro.workloads.arrivals`" in text
+        lower = text.lower()
+        for concept in (
+            "open-loop",
+            "rate × duration",
+            "bounded queue",
+            "service ≡ batch identity",
+            "fold_before",
+            "rtds soak",
+        ):
+            assert concept.lower() in lower, f"DESIGN.md must document {concept!r}"
+        assert "BENCH_e12.json" in text
+
     def test_parallel_runtime_section(self):
         """The campaign runtime must stay documented where it is built."""
         text = read("DESIGN.md")
@@ -103,7 +121,7 @@ class TestExperimentsMd:
     def test_every_sweep_entry_has_a_cli_line(self):
         """Each E1–E8 artifact must carry the exact line that reproduces it."""
         text = read("EXPERIMENTS.md")
-        for exp in ("E1", "E1b", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11"):
+        for exp in ("E1", "E1b", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12"):
             assert re.search(rf"### {re.escape(exp)} —", text), f"missing entry {exp}"
         # every experiment entry is followed by a runnable command line
         entries = re.split(r"### ", text)[1:]
@@ -142,6 +160,17 @@ class TestExperimentsMd:
         assert "rtds sweep-hetero" in text
         assert "uniform differential" in text
         assert "trace:montage" in text and "trace:epigenomics" in text
+
+
+    def test_e12_entry_names_gate_and_cli(self):
+        """E12 must document its soak gate, the CLI and the test lockdown."""
+        text = read("EXPERIMENTS.md")
+        assert "bench_e12_soak.py" in text
+        assert "BENCH_e12.json" in text
+        assert "rtds soak" in text
+        assert "--target-jobs 100000" in text
+        assert "open-loop" in text
+        assert "test_soak_fast.py" in text
 
 
 class TestReadme:

@@ -1,0 +1,99 @@
+"""Open-loop job source: determinism, the rate×duration contract, pooling."""
+
+import itertools
+import pickle
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads.openloop import (
+    OpenLoopSpec,
+    open_loop_jobs,
+    open_loop_rate,
+    open_loop_workload,
+)
+from repro.workloads.arrivals import MMPPProcess, PoissonProcess
+
+
+def _spec(seed=0, rate=2.0, **kw):
+    return OpenLoopSpec(n_sites=8, process=PoissonProcess(rate), seed=seed, **kw)
+
+
+def test_workload_is_exact_stream_prefix():
+    """open_loop_workload(spec, d) == the stream's arrival<d prefix —
+    the identity the service ≡ batch differential stands on."""
+    spec = _spec(seed=42)
+    wl = open_loop_workload(spec, 60.0)
+    stream = list(itertools.islice(open_loop_jobs(spec), len(wl)))
+    assert [(j.job, j.arrival, j.origin, j.deadline) for j in wl.jobs] == [
+        (j.job, j.arrival, j.origin, j.deadline) for j in stream
+    ]
+    assert all(j.arrival < 60.0 for j in wl.jobs)
+
+
+def test_stream_deterministic_and_ordered():
+    a = list(itertools.islice(open_loop_jobs(_spec(seed=5)), 200))
+    b = list(itertools.islice(open_loop_jobs(_spec(seed=5)), 200))
+    assert [(x.job, x.arrival, x.origin) for x in a] == [
+        (x.job, x.arrival, x.origin) for x in b
+    ]
+    arrivals = [x.arrival for x in a]
+    assert arrivals == sorted(arrivals)
+    assert [x.job for x in a] == list(range(200))
+    assert all(0 <= x.origin < 8 for x in a)
+
+
+def test_stream_memory_is_windowed():
+    """Consuming deep into the stream works (windows regenerate; nothing
+    accumulates that depends on how far we've read)."""
+    spec = _spec(seed=1, rate=50.0)
+    tail = list(itertools.islice(open_loop_jobs(spec), 5000, 5003))
+    assert len(tail) == 3 and tail[0].job == 5000
+
+
+def test_mmpp_stream_deterministic():
+    proc = MMPPProcess(rates=(0.5, 8.0), sojourns=(20.0, 5.0))
+    spec = OpenLoopSpec(n_sites=4, process=proc, seed=9)
+    a = open_loop_workload(spec, 100.0)
+    b = open_loop_workload(spec, 100.0)
+    assert [(j.job, j.arrival) for j in a.jobs] == [(j.job, j.arrival) for j in b.jobs]
+
+
+def test_spec_picklable():
+    """Pool workers get the spec by pickle (dag_size path, no closures)."""
+    spec = _spec(seed=3)
+    clone = pickle.loads(pickle.dumps(spec))
+    a = list(itertools.islice(open_loop_jobs(spec), 20))
+    b = list(itertools.islice(open_loop_jobs(clone), 20))
+    assert [(x.job, x.arrival, x.origin) for x in a] == [
+        (x.job, x.arrival, x.origin) for x in b
+    ]
+
+
+def test_open_loop_rate_scales_with_rho():
+    caps = [1.0] * 16
+    r1 = open_loop_rate(0.3, caps)
+    r2 = open_loop_rate(0.6, caps)
+    assert r1 > 0
+    assert r2 == pytest.approx(2.0 * r1)
+    # doubling capacity doubles the rate for the same rho
+    assert open_loop_rate(0.3, [2.0] * 16) == pytest.approx(2.0 * r1)
+
+
+def test_spec_validation():
+    with pytest.raises(WorkloadError):
+        OpenLoopSpec(n_sites=0, process=PoissonProcess(1.0))
+    with pytest.raises(WorkloadError):
+        OpenLoopSpec(n_sites=4, process=PoissonProcess(1.0), window=-1.0)
+    with pytest.raises(WorkloadError):
+        open_loop_workload(_spec(), 0.0)
+    # auto window targets ~500 jobs per chunk
+    assert _spec(rate=100.0).effective_window() == pytest.approx(5.12)
+
+
+def test_deadlines_follow_laxity():
+    spec = _spec(seed=2, laxity_factor=5.0)
+    jobs = list(itertools.islice(open_loop_jobs(spec), 50))
+    assert all(j.deadline > j.arrival for j in jobs)
+    rel = [j.deadline - j.arrival for j in jobs]
+    assert min(rel) > 0
