@@ -1,0 +1,256 @@
+"""E13 — chaos soak (survivability under churn + joins, zero-leak audit).
+
+One measurement: :func:`repro.experiments.chaos.run_chaos` pushes
+``--target-jobs`` (default 10^5) open-loop jobs through a resident
+32-site network while the fault plan keeps sites churning and four new
+sites join mid-flight (each join repairing the shared routing tables
+incrementally). Reported and gated:
+
+* **deterministic** scalars — job count, guarantee ratio under chaos,
+  p99 admission latency, the membership ledger (joins applied, rejoins,
+  repaired rows). Pure functions of the seed; gated as drift.
+* **machine-dependent** scalars — wall jobs/sec (loose floor) and RSS.
+* **contracts** — zero executor records leaked past the drain, RSS
+  flatness, and ``tables_converged``: every incrementally repaired
+  routing table must equal a from-scratch rebuild bit-for-bit. Absolute,
+  not baseline-relative.
+
+Standalone (CI) usage::
+
+    PYTHONPATH=src python benchmarks/bench_e13_chaos.py --out BENCH_e13.json
+    PYTHONPATH=src python benchmarks/bench_e13_chaos.py --check BENCH_e13.json
+
+Under pytest (``pytest benchmarks/ --benchmark-only``) a small smoke
+chaos run executes once and the table lands in ``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+from typing import Dict
+
+from repro.experiments.chaos import ChaosConfig, run_chaos
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
+
+#: the committed-baseline chaos shape (the acceptance-criteria run)
+FULL_CONFIG = dict(
+    n_sites=32, joins=4, join_links=3, site_churn=12, mean_downtime=40.0,
+    rho=0.5, target_jobs=100_000, seed=0,
+)
+#: the pytest smoke shape: same machinery, minutes -> seconds
+SMOKE_CONFIG = dict(
+    n_sites=16, joins=2, join_links=2, site_churn=6, mean_downtime=30.0,
+    rho=0.5, target_jobs=3_000, sample_every=500, degraded_window=200, seed=0,
+)
+
+
+def measure(**overrides) -> Dict[str, object]:
+    """One chaos run; returns its scalar metrics plus sample count."""
+    config = ChaosConfig(**{**FULL_CONFIG, **overrides})
+    report = run_chaos(config)
+    out: Dict[str, object] = report.scalar_metrics()
+    out["n_samples"] = len(report.samples)
+    return out
+
+
+def render(results: Dict[str, object]) -> str:
+    """Human-readable summary of one measurement."""
+    return "\n".join(
+        [
+            f"jobs                {int(results['n_jobs'])}",
+            f"wall seconds        {results['wall_s']:.1f}",
+            f"jobs/sec            {results['jobs_per_sec']:.0f}",
+            f"guarantee ratio     {results['guarantee_ratio']:.4f}",
+            f"effective ratio     {results['effective_ratio']:.4f}",
+            f"admission p50/p99   {results['lat_p50']:.3f} / {results['lat_p99']:.3f}",
+            f"joins/rejoins       {int(results['joins_applied'])} / {int(results['rejoins'])}",
+            f"repaired rows       {int(results['repaired_rows'])}",
+            f"site downs          {int(results['site_down_events'])}",
+            f"jobs dropped        {int(results['jobs_dropped'])}",
+            f"abandoned reaped    {int(results['abandoned_reaped'])}",
+            f"shed (degraded)     {int(results['shed_degraded'])}",
+            f"rss peak/final MB   {results['rss_peak_mb']:.1f} / {results['rss_final_mb']:.1f}",
+            f"rss growth (f80)    {results['rss_growth_final80']:.4f}",
+            f"leaked unfinished   {int(results['leaked_unfinished'])}",
+            f"tables converged    {bool(results['tables_converged'])}",
+        ]
+    )
+
+
+def check_regression(
+    results: Dict[str, object],
+    baseline_path: pathlib.Path,
+    gr_tolerance: float,
+    lat_tolerance: float,
+    throughput_floor: float,
+    rss_limit: float,
+) -> int:
+    """Gate one measurement against the committed baseline.
+
+    Deterministic metrics (job count, GR under chaos, p99 latency, the
+    membership ledger) gate drift; jobs/sec gates a loose floor; the
+    zero-leak, RSS-flatness and table-convergence contracts are absolute.
+    """
+    baseline = json.loads(baseline_path.read_text())["scenarios"]
+    failures = []
+    if int(results["n_jobs"]) != int(baseline["n_jobs"]):
+        failures.append(
+            f"job count changed: {results['n_jobs']} vs baseline {baseline['n_jobs']} "
+            "(the seeded chaos run is no longer deterministic)"
+        )
+    for key in ("joins_applied", "rejoins", "site_down_events"):
+        if int(results[key]) != int(baseline[key]):
+            failures.append(
+                f"{key} changed: {results[key]} vs baseline {baseline[key]} "
+                "(the seeded fault plan is no longer deterministic)"
+            )
+    drift = abs(results["guarantee_ratio"] - baseline["guarantee_ratio"])
+    if drift > gr_tolerance:
+        failures.append(
+            f"GR {results['guarantee_ratio']:.4f} vs baseline "
+            f"{baseline['guarantee_ratio']:.4f} (drift {drift:.4f} > {gr_tolerance})"
+        )
+    base_p99 = baseline["lat_p99"]
+    if base_p99 > 0:
+        rel = abs(results["lat_p99"] - base_p99) / base_p99
+        if rel > lat_tolerance:
+            failures.append(
+                f"admission p99 {results['lat_p99']:.3f} vs baseline {base_p99:.3f} "
+                f"(relative drift {rel:.3f} > {lat_tolerance})"
+            )
+    floor = baseline["jobs_per_sec"] * throughput_floor
+    if results["jobs_per_sec"] < floor:
+        failures.append(
+            f"throughput {results['jobs_per_sec']:.0f} jobs/sec below floor "
+            f"{floor:.0f} ({throughput_floor:.0%} of baseline {baseline['jobs_per_sec']:.0f})"
+        )
+    if results["rss_growth_final80"] > rss_limit:
+        failures.append(
+            f"RSS grew {results['rss_growth_final80']:.1%} of peak over the final "
+            f"80% of the run (limit {rss_limit:.0%}) — memory is not flat under chaos"
+        )
+    if int(results["leaked_unfinished"]) != 0:
+        failures.append(
+            f"{results['leaked_unfinished']} executor records leaked past the drain"
+        )
+    if not results["tables_converged"]:
+        failures.append(
+            "incrementally repaired routing tables diverged from a "
+            "from-scratch rebuild (membership repair is no longer exact)"
+        )
+    if failures:
+        for f in failures:
+            print(f"E13 REGRESSION: {f}", file=sys.stderr)
+        return 1
+    print(
+        f"e13 ok: {int(results['n_jobs'])} jobs under chaos "
+        f"({int(results['joins_applied'])} joins, "
+        f"{int(results['site_down_events'])} site downs), GR within "
+        f"{gr_tolerance}, p99 within {lat_tolerance:.0%}, zero leaks, "
+        "repaired tables bit-for-bit converged"
+    )
+    return 0
+
+
+def write_json(results: Dict[str, object], path: pathlib.Path, gates: Dict[str, float]) -> None:
+    """Persist one measurement as the committed-baseline JSON shape."""
+    path.write_text(
+        json.dumps(
+            {"bench": "e13_chaos", "gate": gates, "scenarios": results},
+            indent=2,
+            sort_keys=True,
+        )
+        + "\n"
+    )
+
+
+# -- pytest entry point ------------------------------------------------------
+
+
+def test_e13_chaos(benchmark, emit):
+    """Smoke chaos soak: churn + joins at 3k jobs, contracts asserted."""
+    from benchmarks.conftest import once
+
+    results = once(benchmark, measure, **SMOKE_CONFIG)
+    emit("e13_chaos", render(results))
+    assert int(results["leaked_unfinished"]) == 0
+    assert bool(results["tables_converged"])
+    assert int(results["joins_applied"]) == SMOKE_CONFIG["joins"]
+    assert results["guarantee_ratio"] > 0.5
+    assert results["rss_growth_final80"] < 0.15
+
+
+def main(argv=None) -> int:
+    """CLI entry: measure, render, optionally write/gate the baseline."""
+    parser = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
+    parser.add_argument("--sites", type=int, default=FULL_CONFIG["n_sites"])
+    parser.add_argument("--target-jobs", type=int, default=FULL_CONFIG["target_jobs"])
+    parser.add_argument("--joins", type=int, default=FULL_CONFIG["joins"])
+    parser.add_argument("--site-churn", type=int, default=FULL_CONFIG["site_churn"])
+    parser.add_argument("--rho", type=float, default=FULL_CONFIG["rho"])
+    parser.add_argument("--seed", type=int, default=FULL_CONFIG["seed"])
+    parser.add_argument("--out", type=pathlib.Path, default=None, help="write BENCH_e13.json here")
+    parser.add_argument(
+        "--check", type=pathlib.Path, default=None,
+        help="baseline BENCH_e13.json to gate against",
+    )
+    parser.add_argument(
+        "--metrics", type=pathlib.Path, default=None,
+        help="write the per-sample trajectory JSONL here (CI artifact)",
+    )
+    parser.add_argument("--gr-tolerance", type=float, default=0.03)
+    parser.add_argument(
+        "--lat-tolerance", type=float, default=0.10,
+        help="max relative p99 admission-latency drift",
+    )
+    parser.add_argument(
+        "--throughput-floor", type=float, default=0.3,
+        help="fail --check below this fraction of baseline jobs/sec",
+    )
+    parser.add_argument(
+        "--rss-limit", type=float, default=0.05,
+        help="max RSS growth over the final 80%% of the run, as fraction of peak",
+    )
+    args = parser.parse_args(argv)
+
+    config = ChaosConfig(
+        **{
+            **FULL_CONFIG,
+            "n_sites": args.sites,
+            "target_jobs": args.target_jobs,
+            "joins": args.joins,
+            "site_churn": args.site_churn,
+            "rho": args.rho,
+            "seed": args.seed,
+        }
+    )
+    report = run_chaos(config)
+    results: Dict[str, object] = report.scalar_metrics()
+    results["n_samples"] = len(report.samples)
+    print(render(results))
+    if args.metrics is not None:
+        report.write_samples_jsonl(args.metrics)
+        print(f"wrote {len(report.samples)} samples to {args.metrics}")
+    gates = {
+        "gr_tolerance": args.gr_tolerance,
+        "lat_tolerance": args.lat_tolerance,
+        "throughput_floor": args.throughput_floor,
+        "rss_limit": args.rss_limit,
+    }
+    if args.out is not None:
+        write_json(results, args.out, gates)
+        print(f"wrote {args.out}")
+    if args.check is not None:
+        return check_regression(
+            results, args.check, args.gr_tolerance, args.lat_tolerance,
+            args.throughput_floor, args.rss_limit,
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

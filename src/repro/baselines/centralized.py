@@ -24,13 +24,13 @@ are honest).
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Any, Dict, List, Optional, Set, Tuple
 
 import heapq
 
 from repro.baselines.base import BaselineJobCtx, BaselineSite, build_cross_site_gates
 from repro.core.events import JobOutcome
-from repro.errors import ProtocolError
+from repro.errors import ProtocolError, SchedulingError
 from repro.graphs.analysis import bottom_levels
 from repro.graphs.dag import Dag
 from repro.graphs.serialization import estimate_code_size
@@ -213,6 +213,10 @@ class CentralizedSite(BaselineSite):
         )
         self.coordinator_id = coordinator_id
         self.coordinator: Optional[CentralizedCoordinator] = None
+        #: the site's ElectionManager when the run enables leader election
+        #: (repro.membership.election); None keeps every pre-election code
+        #: path — including the commit fast path — byte-identical
+        self.election: Optional[Any] = None
         self._exec_info: Dict[JobId, Tuple[Dict, Dict, Dict]] = {}
         self.executor.on_complete.append(self._on_task_complete)
         self.on(MSG_JOB_SUBMIT, self._h_submit)
@@ -237,8 +241,16 @@ class CentralizedSite(BaselineSite):
         )
         self.register_arrival(ctx)
         if self.sid == self.coordinator_id:
-            assert self.coordinator is not None
+            if self.coordinator is None:
+                # believed coordinator is this site, but it holds no
+                # coordinator state (abdicated mid-election): nowhere to go
+                self.decide(ctx, JobOutcome.LOST_COORDINATOR)
+                return
             self.coordinator.handle_job(ctx)
+        elif self.election is not None and self.election.suspecting:
+            # mid-election there is no coordinator to route to; a named
+            # loss keeps the guarantee-ratio denominator honest
+            self.decide(ctx, JobOutcome.LOST_COORDINATOR)
         else:
             self.send_to(
                 self.coordinator_id,
@@ -248,8 +260,13 @@ class CentralizedSite(BaselineSite):
             )
 
     def _h_submit(self, msg: Message) -> None:
-        assert self.coordinator is not None
-        self.coordinator.handle_job(self.unpack_ctx(msg.payload))
+        ctx = self.unpack_ctx(msg.payload)
+        if self.coordinator is None:
+            # a submission caught a deposed coordinator (in flight across
+            # an election); unreachable without election enabled
+            self.decide(ctx, JobOutcome.LOST_COORDINATOR)
+            return
+        self.coordinator.handle_job(ctx)
 
     # -- hosting --------------------------------------------------------------------
 
@@ -261,6 +278,20 @@ class CentralizedSite(BaselineSite):
         preds: Dict[TaskId, List[TaskId]],
         volumes: Dict[TaskId, float],
     ) -> None:
+        if self.election is not None:
+            # A deposed coordinator's EXEC_ASSIGN can still be in flight
+            # when its successor starts booking the same idle time — the
+            # successor's shadow snapshot cannot see it. Probe against the
+            # real timeline and drop conflicting stale assignments instead
+            # of crashing the host's plan.
+            probe = self.plan.timeline.copy()
+            try:
+                for r in slots:
+                    probe.reserve(r)
+            except SchedulingError:
+                self.election.stats.stale_assignments_dropped += 1
+                self.trace("election.stale_assignment_dropped", job=job)
+                return
         my_tasks = {r.task for r in slots}
         gates = build_cross_site_gates(self.sid, job, my_tasks, host, preds)
         self.plan.commit(slots)

@@ -14,6 +14,8 @@
     rtds sweep-hetero --speeds uniform,skew:4 --workloads synthetic,trace:montage --jobs 4
     rtds run --sites 512 --routing oracle      # vectorized setup, no simulated routing
     rtds soak --target-jobs 100000 --arrival auto --metrics soak.jsonl   # E12
+    rtds soak --routing oracle --faults "joins=2,join_links=2" --fault-horizon 5000
+    rtds chaos --sites 32 --joins 4 --site-churn 12 --metrics chaos.jsonl   # E13
 
 ``campaign`` and ``sweep-faults`` run through the parallel campaign
 runtime (:mod:`repro.experiments.parallel`): ``--jobs N`` fans the cell
@@ -87,7 +89,8 @@ def _base_config(args: argparse.Namespace) -> ExperimentConfig:
         from repro.faults import FaultPlan, hardened
 
         faults = FaultPlan.from_spec(args.faults)
-        if not faults.is_zero():
+        # joins-only plans don't disturb messages in flight: no hardening
+        if faults.perturbs_network():
             rtds_cfg = hardened(
                 rtds_cfg, ack_timeout=args.ack_timeout, ack_retries=args.ack_retries
             )
@@ -528,6 +531,9 @@ def _cmd_soak(args: argparse.Namespace) -> int:
         algorithm=args.algorithm,
         routing_mode=args.routing,
         seed=args.seed,
+        faults=args.faults,
+        fault_horizon=args.fault_horizon,
+        degraded_floor=args.degraded_floor,
     )
 
     def progress(s: SoakSample) -> None:
@@ -563,6 +569,66 @@ def _cmd_soak(args: argparse.Namespace) -> int:
         report.write_samples_jsonl(pathlib.Path(args.metrics))
         print(f"wrote {len(report.samples)} samples to {args.metrics}")
     return 0 if report.leaked_unfinished == 0 else 1
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    import pathlib
+
+    from repro.experiments.chaos import ChaosConfig, ChaosSample, run_chaos
+
+    cfg = ChaosConfig(
+        n_sites=args.sites,
+        joins=args.joins,
+        join_links=args.join_links,
+        site_churn=args.site_churn,
+        mean_downtime=args.mean_downtime,
+        rho=args.rho,
+        target_jobs=args.target_jobs,
+        sample_every=args.sample_every,
+        degraded_floor=args.degraded_floor,
+        fault_horizon=args.fault_horizon,
+        seed=args.seed,
+    )
+
+    def progress(s: ChaosSample) -> None:
+        print(
+            f"  jobs {s.jobs_decided:>8}  sim {s.sim_time:>9.1f}  "
+            f"GR {s.guarantee_ratio:.4f}  p99 {s.lat_p99:>7.3f}  "
+            f"joins {s.joins_applied}  rejoins {s.rejoins:>3}  "
+            f"downs {s.site_down_events:>3}  shed {s.shed_total:>5}  "
+            f"rss {s.rss_mb:>6.1f}MB",
+            file=sys.stderr,
+        )
+
+    report = run_chaos(cfg, progress=progress)
+    print(
+        format_kv(
+            f"E13 chaos soak ({args.sites} sites + {args.joins} joins, "
+            f"{args.site_churn} churn windows)",
+            {
+                "jobs": report.n_jobs,
+                "GR": round(report.guarantee_ratio, 4),
+                "effGR": round(report.effective_ratio, 4),
+                "lat_p99": round(report.lat_p99, 3),
+                "joins_applied": report.joins_applied,
+                "rejoins": report.rejoins,
+                "repaired_rows": report.repaired_rows,
+                "site_down_events": report.site_down_events,
+                "jobs_dropped": report.jobs_dropped,
+                "abandoned_reaped": report.abandoned_reaped,
+                "shed_degraded": report.shed_degraded,
+                "leaked_unfinished": report.leaked_unfinished,
+                "tables_converged": bool(report.tables_converged),
+                "wall_s": round(report.wall_s, 2),
+                "jobs_per_sec": round(report.jobs_per_sec, 1),
+            },
+        )
+    )
+    if args.metrics is not None:
+        report.write_samples_jsonl(pathlib.Path(args.metrics))
+        print(f"wrote {len(report.samples)} samples to {args.metrics}")
+    ok = report.leaked_unfinished == 0 and report.tables_converged
+    return 0 if ok else 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -758,6 +824,65 @@ def build_parser() -> argparse.ArgumentParser:
         "--metrics", default=None,
         help="write the per-sample trajectory as JSONL here (CI artifact)",
     )
+    p_soak.add_argument(
+        "--faults", default=None,
+        help='fault spec armed on the resident, e.g. "sites=6,downtime=30" '
+        'or "joins=2,join_links=2" (joins need --routing oracle)',
+    )
+    p_soak.add_argument(
+        "--fault-horizon", type=float, default=None, dest="fault_horizon",
+        help="simulated span the plan draws its events over "
+        "(default: the config's batch duration — usually too short; set it)",
+    )
+    p_soak.add_argument(
+        "--degraded-floor", type=float, default=None, dest="degraded_floor",
+        help="admission breaker: shed submit_nowait intake while the "
+        "windowed acceptance rate sits below this floor",
+    )
+
+    p_chaos = sub.add_parser(
+        "chaos",
+        help="E13 chaos soak: the E12 open-loop campaign on a network under "
+        "continuous site churn and mid-flight joins (survivability ledger, "
+        "zero-leak audit, bit-for-bit routing-repair check)",
+    )
+    p_chaos.add_argument("--sites", type=int, default=32)
+    p_chaos.add_argument(
+        "--joins", type=int, default=4, help="sites that join mid-run"
+    )
+    p_chaos.add_argument(
+        "--join-links", type=int, default=3, dest="join_links",
+        help="links each joiner attaches with",
+    )
+    p_chaos.add_argument(
+        "--site-churn", type=int, default=12, dest="site_churn",
+        help="site down/up windows over the run",
+    )
+    p_chaos.add_argument(
+        "--mean-downtime", type=float, default=40.0, dest="mean_downtime"
+    )
+    p_chaos.add_argument("--rho", type=float, default=0.5)
+    p_chaos.add_argument(
+        "--target-jobs", type=int, default=100_000, dest="target_jobs",
+        help="jobs to push through the resident network",
+    )
+    p_chaos.add_argument(
+        "--sample-every", type=int, default=2000, dest="sample_every"
+    )
+    p_chaos.add_argument(
+        "--degraded-floor", type=float, default=0.2, dest="degraded_floor",
+        help="admission breaker floor (windowed acceptance rate)",
+    )
+    p_chaos.add_argument(
+        "--fault-horizon", type=float, default=None, dest="fault_horizon",
+        help="span churn/join events are drawn over (default: estimated "
+        "from the arrival rate so chaos covers the whole run)",
+    )
+    p_chaos.add_argument("--seed", type=int, default=0)
+    p_chaos.add_argument(
+        "--metrics", default=None,
+        help="write the per-sample trajectory as JSONL here (CI artifact)",
+    )
 
     return parser
 
@@ -781,6 +906,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "sweep-widenet": _cmd_sweep_widenet,
         "sweep-hetero": _cmd_sweep_hetero,
         "soak": _cmd_soak,
+        "chaos": _cmd_chaos,
     }
     return commands[args.command](args)
 

@@ -35,6 +35,10 @@ class JobOutcome(enum.Enum):
     #: reached a scheduler (counted against the guarantee ratio — churn
     #: must not make the metric look better by shrinking the denominator)
     LOST_SITE_DOWN = "lost_site_down"
+    #: arrival site was up but its (centralized/hierarchical) coordinator
+    #: was partitioned and no successor had been elected yet — the job had
+    #: nowhere to go (also counted against the guarantee ratio)
+    LOST_COORDINATOR = "lost_coordinator"
 
     @property
     def accepted(self) -> bool:

@@ -159,6 +159,19 @@ class RTDSSite(SiteBase):
             ctx.was_deferred = True
             self._consider(ctx)
 
+    def refresh_sphere(self) -> None:
+        """Rebuild the PCS from the (repaired) routing table.
+
+        The membership layer calls this after an incremental routing
+        repair touched this site's row (a join inside the sphere radius).
+        Pure re-derivation — no deferred-job replay, no messages: jobs in
+        flight keep the decision path they started on.
+        """
+        if not self.routing.done:
+            return
+        self.pcs = build_pcs(self.routing.table, self.config.h)
+        self.trace("pcs.refreshed", h=self.config.h, members=len(self.pcs))
+
     # ------------------------------------------------------------------
     # job arrival (driver entry point)
     # ------------------------------------------------------------------

@@ -40,11 +40,13 @@ from repro.core.rtds import RTDSSite
 from repro.errors import ConfigError, WorkloadError
 from repro.faults.injector import FaultInjector
 from repro.faults.plan import FaultPlan
+from repro.membership.election import CoordinatorKit, ElectionConfig
 from repro.metrics.collector import MetricsCollector
 from repro.metrics.summary import ExperimentSummary, summarize
 from repro.routing.oracle import oracle_routing_factory
 from repro.routing.reference import dijkstra, hop_diameter
 from repro.routing.vectorized import (
+    SharedTables,
     hop_diameter_fast,
     phased_tables,
     true_distance_matrix,
@@ -121,7 +123,15 @@ class ExperimentConfig:
     #: fault injection (repro.faults): ``None`` or a zero plan leaves the
     #: no-faults code path bit-for-bit untouched. Window/churn times are
     #: relative to workload start; setup/routing always runs fault-free.
+    #: Plans with membership *joins* additionally require oracle routing
+    #: (the joins repair the shared tables) and an rtds/local algorithm.
     faults: Optional[FaultPlan] = None
+    #: leader election for the centralized baseline
+    #: (:mod:`repro.membership.election`): ``None`` (default) builds no
+    #: election state at all — centralized runs stay byte-identical — and
+    #: an :class:`~repro.membership.election.ElectionConfig` arms the
+    #: heartbeat + bully protocol on every site at workload start.
+    election: Optional[ElectionConfig] = None
     #: routing back end: ``"protocol"`` simulates the phased Bellman–Ford
     #: message-for-message (the default; identity goldens pin it);
     #: ``"oracle"`` installs vectorized precomputed tables
@@ -168,13 +178,30 @@ class ExperimentConfig:
                 )
         if (
             self.faults is not None
-            and not self.faults.is_zero()
+            and self.faults.perturbs_network()
             and self.algorithm == "rtds"
             and not self.rtds.hardened
         ):
             raise ConfigError(
-                "a nonzero FaultPlan requires the hardened protocol: set "
-                "RTDSConfig.ack_timeout (see repro.faults.hardened)"
+                "a FaultPlan that perturbs the network requires the hardened "
+                "protocol: set RTDSConfig.ack_timeout (see repro.faults.hardened)"
+            )
+        if self.faults is not None and self.faults.has_joins():
+            if self.routing_mode != "oracle":
+                raise ConfigError(
+                    "membership joins require routing_mode='oracle': joins "
+                    "repair the shared vectorized tables (repro.membership)"
+                )
+            if self.algorithm not in ("rtds", "local"):
+                raise ConfigError(
+                    "membership joins support algorithms 'rtds' and 'local' "
+                    f"only, not {self.algorithm!r} (global-routing baselines "
+                    "assume a fixed site set)"
+                )
+        if self.election is not None and self.algorithm != "centralized":
+            raise ConfigError(
+                "election requires algorithm='centralized' (only the "
+                "centralized baseline has a coordinator to elect)"
             )
 
     def resolved_label(self) -> str:
@@ -201,6 +228,9 @@ class RunResult:
     #: the run's telemetry registry (spans/counters/timers), or None when
     #: ``config.telemetry`` was off — feed it to :mod:`repro.obs.export`
     telemetry: Optional[Any] = None
+    #: the resident network the run executed on — survivability state
+    #: (membership manager, elections, injector) hangs off it
+    resident: Optional[Any] = None
 
     def site_utilizations(self, start: float, end: float) -> Dict[int, float]:
         """Per-site compute utilization over the window ``[start, end]``."""
@@ -262,11 +292,13 @@ def _make_sites(
     metrics: MetricsCollector,
     obs=None,
 ):
-    """Build the live network; returns ``(network, weight_matrix_or_None)``.
+    """Build the live network; returns ``(network, W, shared_by_phases)``.
 
-    The weight matrix is only materialized in oracle routing mode and is
-    handed back so the caller can reuse it (the centralized coordinator
-    needs all-pairs distances from the same matrix).
+    The weight matrix and the per-phase-budget
+    :class:`~repro.routing.vectorized.SharedTables` are only materialized
+    in oracle routing mode and are handed back so the caller can reuse
+    them (the centralized coordinator needs all-pairs distances from the
+    same matrix; the membership layer repairs the shared tables on joins).
     """
     oracle = config.routing_mode == "oracle"
     needs_global = config.algorithm in ("centralized", "focused", "random")
@@ -283,6 +315,7 @@ def _make_sites(
         global_phases = 1
 
     routing_factory = None
+    shared_by_phases: Optional[Dict[int, SharedTables]] = None
     if oracle:
         if config.algorithm == "rtds":
             phase_budget = config.rtds.pcs_phases
@@ -290,7 +323,8 @@ def _make_sites(
             phase_budget = 1
         else:
             phase_budget = global_phases
-        routing_factory = oracle_routing_factory({phase_budget: phased_tables(W, phase_budget)})
+        shared_by_phases = {phase_budget: phased_tables(W, phase_budget)}
+        routing_factory = oracle_routing_factory(shared_by_phases)
 
     if config.algorithm == "rtds":
         rtds_cfg = replace(config.rtds, surplus_window=config.surplus_window)
@@ -343,7 +377,7 @@ def _make_sites(
                 routing_factory=routing_factory,
             )
 
-    return build_network(topo, sim, factory, tracer, obs=obs), W
+    return build_network(topo, sim, factory, tracer, obs=obs), W, shared_by_phases
 
 
 @contextmanager
@@ -395,18 +429,66 @@ class ResidentNetwork:
     setup_time: float
     obs: Optional[Any] = None
     injector: Optional[FaultInjector] = None
+    #: number of *base* sites — when the fault plan declares joins, the
+    #: topology is extended with latent (link-less) joiner sites and this
+    #: records where they start; None means no extension (all sites base)
+    n_base: Optional[int] = None
+    #: the live symmetric weight matrix (oracle routing only) — mutated
+    #: in place by membership joins, shared with ``shared_tables``
+    weight: Optional[np.ndarray] = None
+    #: phase budget -> SharedTables (oracle routing only); repaired
+    #: incrementally by :mod:`repro.membership` on joins
+    shared_tables: Optional[Dict[int, SharedTables]] = None
+    #: everything an election winner needs to rebuild the coordinator
+    #: (centralized runs only)
+    coordinator_kit: Optional[CoordinatorKit] = None
+    #: armed survivability machinery (see :meth:`arm_faults`)
+    membership: Optional[Any] = None
+    elections: Optional[Dict[int, Any]] = None
+    #: gate-blocked records reaped by hygiene (fault runs only) — plan
+    #: state whose prerequisite result was lost for good
+    abandoned_reaped: int = 0
 
     @property
     def shift(self) -> float:
         """Workload-relative → simulation-time offset (== setup time)."""
         return self.setup_time
 
+    @property
+    def n_base_sites(self) -> int:
+        """Sites that exist from t=0 (workload origins draw from these)."""
+        return self.n_base if self.n_base is not None else self.topology.n
+
     def capacities(self) -> List[float]:
-        """Per-site computing powers (workload calibration input)."""
+        """Per-base-site computing powers (workload calibration input)."""
         return [
             _speed_of(self.config, self.topology, sid)
-            for sid in range(self.topology.n)
+            for sid in range(self.n_base_sites)
         ]
+
+    def arm_faults(self, default_horizon: float) -> None:
+        """Arm the run's survivability machinery at workload start.
+
+        Safe no-op for configs without faults/election. Order matters:
+        the injector first (membership hooks its ``on_site_up`` rejoin
+        transition), then membership joins, then elections. ``t0`` is the
+        resident's shift so plan times stay workload-relative, exactly as
+        the batch runner always armed the injector.
+        """
+        config = self.config
+        plan = config.faults
+        if plan is not None and plan.perturbs_network():
+            self.injector = FaultInjector(self.network, plan, entropy=config.seed)
+            self.injector.arm(t0=self.shift, default_horizon=default_horizon)
+        if plan is not None and plan.has_joins():
+            from repro.membership.manager import MembershipManager
+
+            self.membership = MembershipManager(self, plan, entropy=config.seed)
+            self.membership.arm(t0=self.shift, default_horizon=default_horizon)
+        if config.election is not None:
+            from repro.membership.election import install_elections
+
+            self.elections = install_elections(self, config.election)
 
     def submit_spec(self, job: JobSpec) -> None:
         """Submit one job *now* (``sim.now`` should be its shifted arrival).
@@ -416,22 +498,37 @@ class ResidentNetwork:
         degrades the guarantee ratio instead of shrinking its denominator.
         """
         site = self.network.site(job.origin)
-        if self.injector is not None and self.injector.site_down(site.sid):
-            self.injector.stats.jobs_dropped += 1
-            self.tracer.emit(self.sim.now, "fault.job_dropped", site.sid, job=job.job)
-            self.metrics.register_job(
-                JobRecord(
-                    job=job.job,
-                    origin=site.sid,
-                    arrival=self.sim.now,
-                    deadline=self.shift + job.deadline,
-                    n_tasks=len(job.dag),
-                    total_work=job.dag.total_complexity(),
+        if self.injector is not None:
+            if self.injector.site_down(site.sid):
+                self._drop_job(job, site.sid, JobOutcome.LOST_SITE_DOWN, "fault.job_dropped")
+                return
+            coord = getattr(site, "coordinator_id", None)
+            if coord is not None and coord != site.sid and self.injector.site_down(coord):
+                # the arrival site is fine but its coordinator is
+                # partitioned (and, without election, will never answer):
+                # a *named* loss instead of a silently-dropped submission,
+                # so centralized churn runs stop looking degenerate
+                self._drop_job(
+                    job, site.sid, JobOutcome.LOST_COORDINATOR, "fault.job_lost_coordinator"
                 )
-            )
-            self.metrics.decide(job.job, JobOutcome.LOST_SITE_DOWN, self.sim.now)
-            return
+                return
         site.submit_job(job.job, job.dag, self.shift + job.deadline)
+
+    def _drop_job(self, job: JobSpec, sid: int, outcome: JobOutcome, event: str) -> None:
+        """Record a harness-level job loss (site or coordinator down)."""
+        self.injector.stats.jobs_dropped += 1
+        self.tracer.emit(self.sim.now, event, sid, job=job.job)
+        self.metrics.register_job(
+            JobRecord(
+                job=job.job,
+                origin=sid,
+                arrival=self.sim.now,
+                deadline=self.shift + job.deadline,
+                n_tasks=len(job.dag),
+                total_work=job.dag.total_complexity(),
+            )
+        )
+        self.metrics.decide(job.job, outcome, self.sim.now)
 
     def schedule_job(self, job: JobSpec) -> None:
         """Schedule one job's submission at its shifted arrival time."""
@@ -439,7 +536,13 @@ class ResidentNetwork:
 
     def prune_pass(self) -> None:
         """One memory-hygiene pass: sites forget settled history older than
-        one surplus window (decision-neutral, see ``RTDSSite.prune_history``)."""
+        one surplus window (decision-neutral, see ``RTDSSite.prune_history``).
+
+        Fault runs additionally reap abandoned executor records —
+        committed reservations whose prerequisite result was lost for
+        good (:meth:`~repro.sched.executor.PlanExecutor.reap_abandoned`);
+        the no-fault path never reaps, keeping it byte-identical.
+        """
         keep_from = self.sim.now - self.config.surplus_window
         if keep_from <= 0:
             return
@@ -447,6 +550,9 @@ class ResidentNetwork:
             prune = getattr(s, "prune_history", None)
             if prune is not None:
                 prune(keep_from)
+        if self.injector is not None:
+            for s in self.sites:
+                self.abandoned_reaped += s.executor.reap_abandoned(keep_from)
 
     def unfinished_plan_records(self) -> int:
         """Total committed-but-unfinished executor records across all sites.
@@ -474,6 +580,23 @@ def build_resident(config: ExperimentConfig) -> ResidentNetwork:
     if site_speed_vec is not None:
         topo = topo.with_site_speeds(site_speed_vec)
 
+    # Membership joins: pre-build the joiners as latent, link-less sites.
+    # Isolated rows are inert for the phased Bellman–Ford (no neighbours,
+    # infinite columns never offered), so the base sites' tables — and
+    # everything downstream — are byte-identical to the unextended run
+    # until the first join links up.
+    n_base: Optional[int] = None
+    n_joins = config.faults.n_join_sites() if config.faults is not None else 0
+    if n_joins > 0:
+        n_base = topo.n
+        pad = (1.0,) * n_joins
+        topo = Topology(
+            n_base + n_joins,
+            topo.edges,
+            topo.name + f"+join{n_joins}",
+            site_speeds=(topo.site_speeds + pad) if topo.site_speeds is not None else None,
+        )
+
     sim = Simulator()
     tracer = Tracer(enabled=config.trace)
     metrics = MetricsCollector()
@@ -485,7 +608,7 @@ def build_resident(config: ExperimentConfig) -> ResidentNetwork:
         # engine samples at run() boundaries only; sites/plans mirror
         # obs.enabled into their obs_on flags at construction
         sim.obs = obs
-    net, W = _make_sites(config, topo, sim, tracer, metrics, obs=obs)
+    net, W, shared_tables = _make_sites(config, topo, sim, tracer, metrics, obs=obs)
     if config.link_throughput is not None:
         # applied post-construction so _make_sites stays algorithm-generic
         for link in net.links():
@@ -494,6 +617,7 @@ def build_resident(config: ExperimentConfig) -> ResidentNetwork:
     sites = [net.site(sid) for sid in net.site_ids()]
     for s in sites:
         s.start()
+    coordinator_kit: Optional[CoordinatorKit] = None
     if config.algorithm == "centralized":
         if config.routing_mode == "oracle":
             # converged min-plus == true shortest delays, one batched pass
@@ -510,6 +634,11 @@ def build_resident(config: ExperimentConfig) -> ResidentNetwork:
         else:
             adj = topo.adjacency()
             distances = {sid: dijkstra(adj, sid) for sid in adj}
+        coordinator_kit = CoordinatorKit(
+            all_sites=dict(net.sites),
+            distances=distances,
+            shortlist=config.centralized_shortlist,
+        )
         coord = net.site(0)
         coord.install_coordinator(
             dict(net.sites), distances, shortlist=config.centralized_shortlist
@@ -545,6 +674,10 @@ def build_resident(config: ExperimentConfig) -> ResidentNetwork:
         setup_messages=setup_messages,
         setup_time=setup_time,
         obs=obs,
+        n_base=n_base,
+        weight=W,
+        shared_tables=shared_tables,
+        coordinator_kit=coordinator_kit,
     )
 
 
@@ -576,8 +709,10 @@ def run_experiment_with_workload(
 def _generate_batch_workload(
     config: ExperimentConfig, resident: ResidentNetwork
 ) -> Workload:
-    """Phase 2's job list: the seeded batch workload of ``config``."""
-    topo = resident.topology
+    """Phase 2's job list: the seeded batch workload of ``config``.
+
+    Origins draw from the *base* sites only — latent joiners receive no
+    arrivals (they can still host offloaded tasks once joined)."""
     dag_factory = config.dag_factory
     if dag_factory is None and config.workload != "synthetic":
         from repro.workloads.traces import parse_workload, trace_dag_factory
@@ -591,7 +726,7 @@ def _generate_batch_workload(
         base_factory = dag_factory or mixed_dag_factory(config.dag_size)
         dag_factory = with_volumes_factory(base_factory, config.data_volume_range)
     spec = WorkloadSpec(
-        n_sites=topo.n,
+        n_sites=resident.n_base_sites,
         rho=config.rho,
         duration=config.duration,
         laxity_factor=config.laxity_factor,
@@ -612,11 +747,7 @@ def _execute_workload(resident: ResidentNetwork, workload: Workload) -> RunResul
     sim = resident.sim
     obs = resident.obs
 
-    if config.faults is not None and not config.faults.is_zero():
-        resident.injector = FaultInjector(
-            resident.network, config.faults, entropy=config.seed
-        )
-        resident.injector.arm(t0=resident.shift, default_horizon=config.duration)
+    resident.arm_faults(default_horizon=config.duration)
 
     for job in workload:
         resident.schedule_job(job)
@@ -658,6 +789,7 @@ def _execute_workload(resident: ResidentNetwork, workload: Workload) -> RunResul
         setup_time=resident.setup_time,
         faults=resident.injector,
         telemetry=obs,
+        resident=resident,
     )
 
 

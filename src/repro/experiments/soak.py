@@ -68,6 +68,15 @@ class SoakConfig:
     routing_mode: str = "protocol"
     seed: int = 0
     telemetry: bool = False
+    #: fault spec (:meth:`~repro.faults.plan.FaultPlan.from_spec`), e.g.
+    #: "sites=4,downtime=40,joins=2" — the resident arms it before intake
+    faults: Optional[str] = None
+    #: window the plan draws its events over; defaults to the config's
+    #: batch ``duration`` (usually too short for a soak — set it)
+    fault_horizon: Optional[float] = None
+    #: acceptance-rate floor of the admission breaker (None = breaker off)
+    degraded_floor: Optional[float] = None
+    degraded_window: int = 200
 
     def __post_init__(self) -> None:
         if self.target_jobs < 1:
@@ -76,6 +85,16 @@ class SoakConfig:
             raise ConfigError("sample_every must be >= 1")
         if self.arrival != "auto":
             parse_arrival_spec(self.arrival)  # fail before building anything
+        if self.faults:
+            self.fault_plan()  # fail before building anything
+
+    def fault_plan(self):
+        """The parsed :class:`~repro.faults.plan.FaultPlan` (None without one)."""
+        if not self.faults:
+            return None
+        from repro.faults import FaultPlan
+
+        return FaultPlan.from_spec(self.faults)
 
     def experiment_config(self) -> ExperimentConfig:
         """The resident network's config (workload knobs unused)."""
@@ -86,6 +105,13 @@ class SoakConfig:
                 "p": min(1.0, 4.0 / max(1, self.n_sites - 1)),
                 "delay_range": (0.2, 1.0),
             }
+        plan = self.fault_plan()
+        kwargs = {}
+        if plan is not None and plan.perturbs_network() and self.algorithm == "rtds":
+            from repro.core.config import RTDSConfig
+            from repro.faults import hardened
+
+            kwargs["rtds"] = hardened(RTDSConfig())
         return ExperimentConfig(
             topology="erdos_renyi",
             topology_kwargs=topo,
@@ -96,6 +122,8 @@ class SoakConfig:
             seed=self.seed,
             telemetry=self.telemetry,
             label=f"soak[{self.arrival}]",
+            faults=plan,
+            **kwargs,
         )
 
     def open_loop_spec(self, capacities: List[float]) -> OpenLoopSpec:
@@ -186,12 +214,16 @@ def run_soak(
     progress: Optional[Callable[[SoakSample], None]] = None,
 ) -> SoakReport:
     """Run one soak to completion (synchronous wrapper over the service)."""
-    res = ResidentSimulation(config.experiment_config(), fold=True)
+    res = ResidentSimulation(
+        config.experiment_config(), fold=True, fault_horizon=config.fault_horizon
+    )
     spec = config.open_loop_spec(res.capacities())
     svc = AdmissionService(
         res,
         queue_capacity=config.queue_capacity,
         hygiene_interval=config.hygiene_interval,
+        degraded_floor=config.degraded_floor,
+        degraded_window=config.degraded_window,
     )
 
     samples: List[SoakSample] = []

@@ -7,8 +7,10 @@ first-class measurable input:
 
 * :mod:`repro.faults.plan` — the declarative :class:`FaultPlan`: link
   down/up windows, site crash/recover windows, per-link (or global)
-  message-loss probability, delay jitter, and random-churn generators that
-  expand deterministically from the plan's seed;
+  message-loss probability, delay jitter, random-churn generators that
+  expand deterministically from the plan's seed, and membership *joins*
+  (:class:`JoinSpec` / :class:`SiteJoinEvent`) applied by
+  :mod:`repro.membership`;
 * :mod:`repro.faults.injector` — the :class:`FaultInjector` that hooks the
   :class:`~repro.simnet.network.Network` transmit path and the
   deterministic DES engine. An all-zero plan installs **nothing**: the
@@ -24,8 +26,10 @@ from repro.faults.injector import FaultInjector, FaultStats
 from repro.faults.plan import (
     ChurnSpec,
     FaultPlan,
+    JoinSpec,
     LinkDownWindow,
     SiteDownWindow,
+    SiteJoinEvent,
     hardened,
 )
 
@@ -34,7 +38,9 @@ __all__ = [
     "FaultPlan",
     "FaultInjector",
     "FaultStats",
+    "JoinSpec",
     "LinkDownWindow",
     "SiteDownWindow",
+    "SiteJoinEvent",
     "hardened",
 ]

@@ -30,7 +30,7 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -113,6 +113,13 @@ class FaultInjector:
         #: concrete windows after churn expansion (viz overlay reads these)
         self.link_windows: List[LinkDownWindow] = []
         self.site_windows: List[SiteDownWindow] = []
+        #: optional membership hooks, fired on the *real* transitions only
+        #: (0 -> down and down -> 0, never on overlapping-window re-entries).
+        #: The membership manager uses ``on_site_up`` for rejoin handling;
+        #: both stay ``None`` on plain churn runs, leaving behaviour (and
+        #: the E7 identity goldens) untouched.
+        self.on_site_down: Optional[Callable[[SiteId], None]] = None
+        self.on_site_up: Optional[Callable[[SiteId], None]] = None
         self._armed = False
 
     # -- lifecycle ----------------------------------------------------------
@@ -128,7 +135,9 @@ class FaultInjector:
         if self._armed:
             raise SimulationError("fault injector already armed")
         self._armed = True
-        if self.plan.is_zero():
+        if not self.plan.perturbs_network():
+            # joins-only plans are handled entirely by repro.membership;
+            # the transmit path stays pristine.
             return
         self.link_windows = list(self.plan.link_windows)
         self.site_windows = list(self.plan.site_windows)
@@ -185,12 +194,16 @@ class FaultInjector:
         if n == 0:
             self.stats.site_down_events += 1
             self.tracer.emit(self.sim.now, "fault.site_down", w.site)
+            if self.on_site_down is not None:
+                self.on_site_down(w.site)
 
     def _site_up(self, w: SiteDownWindow) -> None:
         n = self._down_sites.get(w.site, 0) - 1
         if n <= 0:
             self._down_sites.pop(w.site, None)
             self.tracer.emit(self.sim.now, "fault.site_up", w.site)
+            if self.on_site_up is not None:
+                self.on_site_up(w.site)
         else:
             self._down_sites[w.site] = n
 

@@ -14,7 +14,13 @@ any particular network instance:
   (the link's FIFO clamp still preserves the order-preserving assumption);
 * :class:`ChurnSpec` — random down/up windows generated at arm time from
   the plan's seed, so campaigns can say "≈6 link flaps over the run"
-  without enumerating them.
+  without enumerating them;
+* :class:`JoinSpec` / :class:`SiteJoinEvent` — membership *growth*: sites
+  that join the network mid-run (the PR-8 survivability layer). A join
+  wires a latent site into the live topology and triggers the incremental
+  routing repair of :mod:`repro.membership`. Joins are expanded from a
+  separate RNG stream than churn, so adding ``joins=K`` to an existing
+  plan never reshuffles its churn windows.
 
 All window times are **relative to workload start** (the experiment runner
 arms the injector after the routing/setup phase), so PCS construction and
@@ -104,6 +110,64 @@ class ChurnSpec:
 
 
 @dataclass(frozen=True)
+class JoinSpec:
+    """Randomly generated site joins, expanded at arm time.
+
+    The growth-side mirror of :class:`ChurnSpec`: ``n_sites`` new sites
+    join at times uniform over ``[0, horizon)`` (horizon defaults to the
+    workload duration when the membership manager arms). Each joiner wires
+    ``links`` edges to distinct already-present sites with delays uniform
+    in ``delay_range``. Expansion uses a dedicated seeded stream
+    (``SeedSequence([entropy, plan.seed, 1])``) so the plan's churn
+    windows stay byte-identical when joins are added.
+    """
+
+    n_sites: int
+    links: int = 2
+    delay_range: Tuple[float, float] = (0.2, 1.0)
+    horizon: Optional[Time] = None
+
+    def __post_init__(self) -> None:
+        if self.n_sites < 0:
+            raise ConfigError(f"join n_sites must be >= 0, got {self.n_sites}")
+        if self.links < 1:
+            raise ConfigError(f"join links must be >= 1, got {self.links}")
+        lo, hi = self.delay_range
+        if lo <= 0 or hi < lo:
+            raise ConfigError(f"join delay_range must be 0 < lo <= hi, got {self.delay_range}")
+        if self.horizon is not None and self.horizon <= 0:
+            raise ConfigError(f"join horizon must be > 0, got {self.horizon}")
+
+
+@dataclass(frozen=True)
+class SiteJoinEvent:
+    """One explicit membership join at ``time`` (relative to workload start).
+
+    ``links`` is ``((peer, delay), ...)``. The joining site's id is
+    assigned by the runner — latent sites get ids ``n_base, n_base+1, ...``
+    in declaration order (explicit events first, then expanded
+    :class:`JoinSpec` joins, time-ordered) — so plans stay portable across
+    topologies of different sizes. Peers must be base sites or earlier
+    joiners at apply time.
+    """
+
+    time: Time
+    links: Tuple[Tuple[SiteId, Time], ...]
+
+    def __post_init__(self) -> None:
+        if self.time < 0:
+            raise ConfigError(f"join time must be >= 0, got {self.time}")
+        if not self.links:
+            raise ConfigError("a join event needs at least one link")
+        peers = [p for p, _ in self.links]
+        if len(set(peers)) != len(peers):
+            raise ConfigError(f"join event has duplicate peers {peers}")
+        for peer, delay in self.links:
+            if delay <= 0:
+                raise ConfigError(f"join link to {peer} needs delay > 0, got {delay}")
+
+
+@dataclass(frozen=True)
 class FaultPlan:
     """Declarative description of every fault a run will experience.
 
@@ -125,6 +189,10 @@ class FaultPlan:
     link_churn: Optional[ChurnSpec] = None
     #: random site partitions generated at arm time
     site_churn: Optional[ChurnSpec] = None
+    #: explicit membership joins (applied by repro.membership)
+    join_events: Tuple[SiteJoinEvent, ...] = ()
+    #: random membership joins generated at arm time
+    joins: Optional[JoinSpec] = None
     #: fault-stream seed, mixed with the experiment seed by the injector
     seed: int = 0
 
@@ -140,16 +208,43 @@ class FaultPlan:
     # -- classification -----------------------------------------------------
 
     def is_zero(self) -> bool:
-        """True iff this plan can never perturb a run."""
-        return (
-            not self.link_windows
-            and not self.site_windows
-            and self.loss_prob == 0.0
-            and all(p == 0.0 for _, p in self.link_loss)
-            and self.delay_jitter == 0.0
-            and (self.link_churn is None or self.link_churn.n_events == 0)
-            and (self.site_churn is None or self.site_churn.n_events == 0)
+        """True iff this plan can never perturb a run.
+
+        Covers *both* sides of the contract: no message faults
+        (:meth:`perturbs_network`) and no membership growth
+        (:meth:`has_joins`). A zero plan through the resident service is
+        bit-for-bit a no-faults run (pinned by the Hypothesis property in
+        ``tests/membership/test_survivable_service.py``).
+        """
+        return not self.perturbs_network() and not self.has_joins()
+
+    def perturbs_network(self) -> bool:
+        """True iff the plan can lose, delay or partition messages.
+
+        The hardened-protocol requirement keys off this, not
+        :meth:`is_zero`: a join-only plan grows the network but never
+        drops a message, so it does not need ack/retransmit hardening.
+        """
+        return bool(
+            self.link_windows
+            or self.site_windows
+            or self.loss_prob != 0.0
+            or any(p != 0.0 for _, p in self.link_loss)
+            or self.delay_jitter != 0.0
+            or (self.link_churn is not None and self.link_churn.n_events > 0)
+            or (self.site_churn is not None and self.site_churn.n_events > 0)
         )
+
+    def has_joins(self) -> bool:
+        """True iff the plan adds members (explicit or expanded joins)."""
+        return self.n_join_sites() > 0
+
+    def n_join_sites(self) -> int:
+        """How many latent sites the runner must pre-build for this plan."""
+        n = len(self.join_events)
+        if self.joins is not None:
+            n += self.joins.n_sites
+        return n
 
     def loss_for(self, key: Tuple[SiteId, SiteId]) -> float:
         """Loss probability of the canonical link ``key``."""
@@ -167,9 +262,12 @@ class FaultPlan:
         Comma-separated ``key=value`` pairs::
 
             loss=0.05,jitter=0.5,links=6,sites=2,downtime=20,horizon=300,seed=3
+            sites=4,joins=3,join_links=2,horizon=600
 
         ``links``/``sites`` are churn event counts; ``downtime`` and
-        ``horizon`` parameterize both churn specs. Unknown keys raise
+        ``horizon`` parameterize both churn specs. ``joins`` is the number
+        of sites joining mid-run (``join_links`` edges each; ``horizon``
+        bounds the join times too). Unknown keys raise
         :class:`~repro.errors.ConfigError`.
         """
         fields: Dict[str, float] = {}
@@ -181,7 +279,10 @@ class FaultPlan:
                 fields[key.strip()] = float(val)
             except ValueError:
                 raise ConfigError(f"bad fault spec value {part!r}") from None
-        known = {"loss", "jitter", "links", "sites", "downtime", "horizon", "seed"}
+        known = {
+            "loss", "jitter", "links", "sites", "downtime", "horizon", "seed",
+            "joins", "join_links",
+        }
         unknown = set(fields) - known
         if unknown:
             raise ConfigError(f"unknown fault spec keys {sorted(unknown)}; known: {sorted(known)}")
@@ -192,6 +293,12 @@ class FaultPlan:
             churn["link_churn"] = ChurnSpec(int(fields["links"]), downtime, horizon)
         if fields.get("sites", 0) > 0:
             churn["site_churn"] = ChurnSpec(int(fields["sites"]), downtime, horizon)
+        if fields.get("joins", 0) > 0:
+            churn["joins"] = JoinSpec(
+                int(fields["joins"]),
+                links=int(fields.get("join_links", 2)),
+                horizon=horizon,
+            )
         return cls(
             loss_prob=fields.get("loss", 0.0),
             delay_jitter=fields.get("jitter", 0.0),

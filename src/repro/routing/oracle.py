@@ -151,6 +151,16 @@ class LazyRoutingTable:
         self._shared = shared
         self._entries: Dict[SiteId, RouteEntry] = {}
 
+    def invalidate(self) -> None:
+        """Drop memoized entries after the shared arrays were repaired.
+
+        The membership layer calls this for every affected row after an
+        incremental join repair (:mod:`repro.membership.repair`): the row
+        views read the shared arrays live, but materialized
+        :class:`RouteEntry` objects would keep serving pre-join routes.
+        """
+        self._entries.clear()
+
     # -- queries (RoutingTable parity) --------------------------------------
 
     def __contains__(self, dest: SiteId) -> bool:

@@ -275,6 +275,43 @@ class PlanExecutor:
 
     # -- maintenance ----------------------------------------------------------
 
+    def reap_abandoned(self, before: Time) -> int:
+        """Drop never-started records whose gate still blocks although
+        their last reserved slot ended at or before ``before``.
+
+        Under fault plans a prerequisite's result message can be lost for
+        good (retries exhausted, site down past the retry budget); the
+        gated record then never opens and would otherwise sit in
+        ``_unfinished`` for the lifetime of the service — leaked plan
+        state and leaked memory. Only gate-*blocked*, never-started
+        records qualify: an open-gated record whose slot passed is merely
+        queued behind the work-conserving processor and will still run.
+        """
+        dead = [
+            k
+            for k, rec in self._unfinished.items()
+            if not rec.started
+            and self._gates.get(k)
+            and rec.chunks[-1].end <= before
+            and k != self._running
+        ]
+        dead_jobs = {k[0] for k in dead}
+        dead_set = set(dead)
+        for k in dead:
+            del self._unfinished[k]
+            del self._records[k]
+            self._gates.pop(k, None)
+            self._tiebreak.pop(k, None)
+        self._early_tokens = {
+            t for t in self._early_tokens if t[1] not in dead_jobs
+        }
+        for token in list(self._token_waiters):
+            keys = self._token_waiters[token]
+            keys -= dead_set
+            if not keys:
+                del self._token_waiters[token]
+        return len(dead)
+
     def prune_done_before(self, time: Time) -> int:
         """Forget finished records (and their tokens) older than ``time``."""
         old = [

@@ -20,6 +20,11 @@ submissions from any number of producers and pumps them into one
   resolved with the job's :class:`~repro.core.events.JobRecord` at
   decision time (hooked on ``MetricsCollector.on_decide``). The soak
   leaves tickets off: 10^5 futures would be pure overhead.
+* **Degraded mode** — an optional circuit breaker (``degraded_floor``)
+  watches the acceptance rate over a sliding window of decisions; while
+  it sits below the floor, :meth:`submit_nowait` sheds instead of
+  queueing (counted, plus ``service.degraded.*`` obs and a
+  ``service.degraded`` gauge). ``GET /health`` reports it as 503.
 * **Graceful drain** — :meth:`drain` stops intake, pumps what's queued,
   advances the resident past the last deadline and resolves leftover
   tickets. ``async with`` does start/drain automatically.
@@ -32,8 +37,9 @@ rather than unbounded queueing — the open-loop contract stays honest.
 from __future__ import annotations
 
 import asyncio
-from dataclasses import dataclass, field
-from typing import Dict, Optional
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, Optional
 
 from repro.core.events import JobRecord
 from repro.errors import ConfigError
@@ -60,6 +66,10 @@ class ServiceStats:
     #: await submit() calls that found the queue full and had to wait
     backpressure_waits: int = 0
     max_queue_depth: int = 0
+    #: submit_nowait() calls shed while the degraded breaker was open
+    shed_degraded: int = 0
+    #: times the windowed guarantee ratio fell below the degraded floor
+    degraded_entered: int = 0
 
     def as_dict(self) -> Dict[str, int]:
         return dict(self.__dict__)
@@ -73,9 +83,17 @@ class AdmissionService:
         res: ResidentSimulation,
         queue_capacity: int = 1024,
         hygiene_interval: Optional[float] = None,
+        degraded_floor: Optional[float] = None,
+        degraded_window: int = 200,
     ) -> None:
         if queue_capacity < 1:
             raise ConfigError(f"queue_capacity must be >= 1, got {queue_capacity}")
+        if degraded_floor is not None and not 0.0 < degraded_floor <= 1.0:
+            raise ConfigError(
+                f"degraded_floor must be in (0, 1], got {degraded_floor}"
+            )
+        if degraded_window < 1:
+            raise ConfigError(f"degraded_window must be >= 1, got {degraded_window}")
         self.res = res
         self.stats = ServiceStats()
         #: admission decision latency in simulated time; windowed
@@ -87,6 +105,15 @@ class AdmissionService:
         self._tickets: Dict[JobId, asyncio.Future] = {}
         self._pump_task: Optional[asyncio.Task] = None
         self._closed = False
+        #: degraded-mode circuit breaker: sliding window of accept/reject
+        #: booleans; when the windowed acceptance rate drops below the
+        #: floor, submit_nowait sheds (await submit still queues — the
+        #: breaker protects the lossy fast path, not the backpressured one)
+        self._degraded_floor = degraded_floor
+        self._decisions: Optional[Deque[bool]] = (
+            deque(maxlen=degraded_window) if degraded_floor is not None else None
+        )
+        self._degraded = False
         self._obs = res.resident.obs
         res.resident.metrics.on_decide = self._on_decide
 
@@ -148,9 +175,19 @@ class AdmissionService:
         return fut
 
     def submit_nowait(self, job: JobSpec) -> bool:
-        """Enqueue without waiting; False (and a counter) when shed."""
+        """Enqueue without waiting; False (and a counter) when shed.
+
+        Sheds unconditionally while the degraded breaker is open: when the
+        network is rejecting nearly everything, queueing more work only
+        adds admission latency for jobs that will be refused anyway.
+        """
         if self._closed:
             raise ConfigError("admission service is draining; submission refused")
+        if self._degraded:
+            self.stats.shed_degraded += 1
+            if self._obs is not None:
+                self._obs.inc("service.degraded.shed")
+            return False
         try:
             self._queue.put_nowait(job)
         except asyncio.QueueFull:
@@ -172,6 +209,34 @@ class AdmissionService:
     @property
     def queue_depth(self) -> int:
         return self._queue.qsize()
+
+    @property
+    def draining(self) -> bool:
+        """True once :meth:`drain` has started; submissions are refused."""
+        return self._closed
+
+    @property
+    def degraded(self) -> bool:
+        """True while the windowed acceptance rate sits below the floor."""
+        return self._degraded
+
+    def _update_breaker(self, accepted: bool) -> None:
+        window = self._decisions
+        if window is None:
+            return
+        window.append(accepted)
+        if len(window) < window.maxlen:  # type: ignore[operator]
+            return  # not enough evidence yet — never trip on a cold window
+        rate = sum(window) / len(window)
+        degraded = rate < self._degraded_floor
+        if degraded and not self._degraded:
+            self.stats.degraded_entered += 1
+            if self._obs is not None:
+                self._obs.inc("service.degraded.entered")
+        if degraded != self._degraded:
+            self._degraded = degraded
+            if self._obs is not None:
+                self._obs.gauge("service.degraded", 1.0 if degraded else 0.0)
 
     # -- pump -------------------------------------------------------------------
 
@@ -215,6 +280,7 @@ class AdmissionService:
     def _on_decide(self, rec: JobRecord) -> None:
         self.stats.decided += 1
         self.latency.observe(rec.decided_at - rec.arrival)
+        self._update_breaker(rec.outcome.accepted)
         if rec.outcome.accepted:
             self.stats.admitted += 1
             if self._obs is not None:

@@ -10,6 +10,8 @@ third-party web framework, per the repo's no-new-dependencies rule:
   **202** with the job id, or **503** when the bounded queue sheds it.
 * ``GET /stats`` — live :class:`~repro.service.admission.ServiceStats`,
   guarantee ratio and cumulative admission-latency summary.
+* ``GET /health`` — readiness probe: **200** ``ready``, **503** while the
+  service is ``draining`` or the degraded breaker is open.
 * ``POST /drain`` — graceful shutdown: flush, run the resident dry,
   answer with the final scalar metrics.
 
@@ -103,6 +105,8 @@ class AdmissionHTTPServer:
             return self._post_job(body)
         if method == "GET" and path == "/stats":
             return 200, self._stats()
+        if method == "GET" and path == "/health":
+            return self._health()
         if method == "POST" and path == "/drain":
             await self.service.drain()
             return 200, self.service.res.scalar_metrics()
@@ -137,6 +141,14 @@ class AdmissionHTTPServer:
         self._next_id += 1
         return 202, {"job": job.job, "origin": origin,
                      "arrival": arrival, "deadline": deadline}
+
+    def _health(self):
+        """Readiness probe: 200 ready, 503 while draining or degraded."""
+        if self.service.draining:
+            return 503, {"status": "draining"}
+        if self.service.degraded:
+            return 503, {"status": "degraded"}
+        return 200, {"status": "ready"}
 
     def _stats(self) -> dict:
         out = self.service.stats.as_dict()

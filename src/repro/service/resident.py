@@ -39,10 +39,23 @@ class ResidentSimulation:
     run's summary must be bit-identical to a batch replay: folding swaps
     ``np.mean`` for exact-sum arithmetic in the summary means, which is
     equal only up to float associativity.
+
+    ``fault_horizon`` bounds the window over which the config's fault
+    plan (churn windows, joins) draws its events; it defaults to the
+    config's batch ``duration``. Arming is a no-op for fault-free
+    configs, so the service ≡ batch identity is untouched.
     """
 
-    def __init__(self, config: ExperimentConfig, fold: bool = False) -> None:
+    def __init__(
+        self,
+        config: ExperimentConfig,
+        fold: bool = False,
+        fault_horizon: Optional[Time] = None,
+    ) -> None:
         self.resident: ResidentNetwork = build_resident(config)
+        self.resident.arm_faults(
+            default_horizon=fault_horizon if fault_horizon is not None else config.duration
+        )
         self.fold_enabled = fold
         self.n_fed = 0
         self.last_deadline: Time = 0.0

@@ -1,0 +1,115 @@
+"""E13 chaos-soak contracts at tier-1 scale (~10^3 jobs).
+
+The full 10^5-job campaign lives in ``benchmarks/bench_e13_chaos.py`` and
+the nightly workflow; this is the fast always-on variant that keeps the
+survivability contracts from regressing in ordinary CI:
+
+* every planned join applies and the repaired routing tables converge
+  bit-for-bit against a from-scratch rebuild,
+* zero leaked executor records after drain (abandoned records reaped),
+* the report's survivability ledger is internally consistent.
+"""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.experiments.chaos import ChaosConfig, run_chaos
+
+_CFG = ChaosConfig(
+    n_sites=12,
+    joins=2,
+    join_links=2,
+    site_churn=4,
+    mean_downtime=25.0,
+    rho=0.5,
+    target_jobs=800,
+    queue_capacity=256,
+    sample_every=200,
+    degraded_window=200,
+    seed=1,
+)
+
+
+def test_chaos_config_requires_chaos():
+    with pytest.raises(ConfigError, match="needs chaos"):
+        ChaosConfig(joins=0, site_churn=0)
+    with pytest.raises(ConfigError):
+        ChaosConfig(joins=-1)
+
+
+def test_fault_spec_composition():
+    assert _CFG.fault_spec() == "sites=4,downtime=25,joins=2,join_links=2"
+    churn_only = ChaosConfig(joins=0, site_churn=3, mean_downtime=10.0)
+    assert churn_only.fault_spec() == "sites=3,downtime=10"
+    join_only = ChaosConfig(joins=1, site_churn=0)
+    assert join_only.fault_spec() == "joins=1,join_links=3"
+
+
+def test_soak_config_shape():
+    soak = _CFG.soak_config()
+    assert soak.algorithm == "rtds"
+    assert soak.routing_mode == "oracle"
+    assert soak.faults == _CFG.fault_spec()
+    assert soak.degraded_floor == _CFG.degraded_floor
+
+
+def test_chaos_run_contracts():
+    report = run_chaos(_CFG)
+
+    # accounting: everything submitted either decided or was shed/dropped
+    assert report.submitted == _CFG.target_jobs
+    shed = report.shed_queue_full + report.shed_degraded
+    assert report.n_jobs + shed == report.submitted
+    assert report.n_jobs + shed >= report.folded_total
+
+    # survivability ledger: every planned join applied and repaired rows
+    assert report.joins_applied == _CFG.joins
+    assert report.links_added == _CFG.joins * _CFG.join_links
+    assert report.repaired_rows > 0
+    assert report.spheres_refreshed > 0
+    assert report.site_down_events > 0
+
+    # the repaired tables equal a from-scratch rebuild, bit for bit
+    assert report.tables_converged == 1
+
+    # leak audit: no gate-blocked executor records survive the drain
+    assert report.leaked_unfinished == 0
+
+    # chaos did not collapse admission
+    assert report.guarantee_ratio > 0.5
+
+    # sampling: the final sample carries the closing ledger
+    assert report.samples
+    last = report.samples[-1]
+    assert last.joins_applied == report.joins_applied
+    assert last.rejoins == report.rejoins
+
+
+def test_chaos_deterministic():
+    a = run_chaos(_CFG)
+    b = run_chaos(_CFG)
+    assert a.guarantee_ratio == b.guarantee_ratio
+    assert a.n_jobs == b.n_jobs
+    assert a.sim_time == b.sim_time
+    assert a.repaired_rows == b.repaired_rows
+    assert a.rejoins == b.rejoins
+
+
+def test_chaos_report_serializes():
+    report = run_chaos(_CFG)
+    scalars = report.scalar_metrics()
+    assert scalars["n_jobs"] == report.n_jobs
+    assert "samples" not in scalars
+    assert "config" not in scalars
+
+
+def test_chaos_samples_jsonl(tmp_path):
+    report = run_chaos(_CFG)
+    out = tmp_path / "samples.jsonl"
+    report.write_samples_jsonl(out)
+    lines = out.read_text().splitlines()
+    assert len(lines) == len(report.samples)
+    import json
+
+    first = json.loads(lines[0])
+    assert "guarantee_ratio" in first and "joins_applied" in first

@@ -1,0 +1,100 @@
+"""Leader election: the centralized baseline surviving coordinator loss."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.core.events import JobOutcome
+from repro.errors import ConfigError
+from repro.experiments.campaign import sweep_fault_plans
+from repro.experiments.runner import ExperimentConfig, run_experiment
+from repro.faults import FaultPlan, SiteDownWindow
+from repro.membership.election import ElectionConfig
+
+BASE = ExperimentConfig(
+    topology="erdos_renyi",
+    topology_kwargs={"n": 12, "p": 0.3, "delay_range": (0.2, 1.0)},
+    duration=150.0,
+    seed=5,
+    algorithm="centralized",
+)
+
+
+def _coordinator_of(res):
+    return res.network.sites[0].coordinator_id
+
+
+def test_election_config_validates():
+    with pytest.raises(ConfigError):
+        ElectionConfig(heartbeat_period=0.0)
+    with pytest.raises(ConfigError):
+        ElectionConfig(heartbeat_period=5.0, heartbeat_timeout=1.0)
+
+
+def test_election_requires_centralized():
+    with pytest.raises(ConfigError, match="centralized"):
+        replace(BASE, algorithm="rtds", election=ElectionConfig())
+
+
+def _plan_killing_coordinator():
+    """A plan whose single down window covers the elected coordinator."""
+    probe = run_experiment(BASE)
+    coord = _coordinator_of(probe)
+    return FaultPlan(
+        site_windows=(SiteDownWindow(site=coord, start=10.0, end=220.0),)
+    )
+
+
+def test_lost_coordinator_named_without_election():
+    """Satellite: coordinator churn yields LOST_COORDINATOR, not silence."""
+    plan = _plan_killing_coordinator()
+    res = run_experiment(replace(BASE, faults=plan))
+    outcomes = [r.outcome for r in res.collector.records()]
+    assert JobOutcome.LOST_COORDINATOR in outcomes
+    # the loss is named, so the denominator is intact: every arrival decided
+    assert res.collector.n_arrived() == len(outcomes)
+
+
+def test_election_restores_admission():
+    """With elections armed, a successor takes over and GR recovers."""
+    plan = _plan_killing_coordinator()
+    dead = run_experiment(replace(BASE, faults=plan))
+    live = run_experiment(replace(BASE, faults=plan, election=ElectionConfig()))
+    assert live.collector.protocol_events["election.won"] >= 1
+    gr_dead = dead.collector.guarantee_ratio()
+    gr_live = live.collector.guarantee_ratio()
+    assert gr_live > gr_dead + 0.1
+    lost = {
+        label: sum(
+            1
+            for r in res.collector.records()
+            if r.outcome is JobOutcome.LOST_COORDINATOR
+        )
+        for label, res in (("dead", dead), ("live", live))
+    }
+    assert lost["live"] < lost["dead"]
+
+
+def test_election_noop_without_faults():
+    """Armed elections on a quiet network never change a decision."""
+    quiet = run_experiment(BASE)
+    armed = run_experiment(replace(BASE, election=ElectionConfig()))
+    assert armed.collector.protocol_events["election.won"] == 0
+    assert quiet.collector.guarantee_ratio() == armed.collector.guarantee_ratio()
+    assert [r.outcome for r in quiet.collector.records()] == [
+        r.outcome for r in armed.collector.records()
+    ]
+
+
+def test_e7_style_sweep_survives_coordinator_loss():
+    """E7-style fault sweep: centralized + elections across seeds."""
+    plan = _plan_killing_coordinator()
+    base = replace(BASE, election=ElectionConfig())
+    rows = sweep_fault_plans(
+        base,
+        [("none", FaultPlan()), ("kill-coord", plan)],
+        seeds=(5, 6),
+    )
+    assert len(rows) == 2
+    by_label = {r["plan"]: r for r in rows}
+    assert by_label["kill-coord"]["GR"] > 0.5

@@ -1,0 +1,172 @@
+"""Service hardening: /health readiness, the degraded breaker, fault arming."""
+
+import asyncio
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.events import JobOutcome, JobRecord
+from repro.errors import ConfigError
+from repro.experiments.runner import ExperimentConfig
+from repro.faults import FaultPlan
+from repro.metrics.summary import scalars_equal
+from repro.service import AdmissionService, ResidentSimulation
+from repro.service.http import AdmissionHTTPServer
+from repro.workloads.jobs import JobSpec
+from repro.workloads.scenarios import mixed_dag_factory
+
+import numpy as np
+
+
+def _config(seed=0, faults=None, routing="protocol"):
+    return ExperimentConfig(
+        topology_kwargs={"n": 8, "p": 0.4, "delay_range": (0.2, 1.0)},
+        seed=seed,
+        faults=faults,
+        routing_mode=routing,
+    )
+
+
+def _job(i, res, deadline=60.0):
+    dag = mixed_dag_factory("small")(np.random.default_rng(i))
+    now = res.now
+    return JobSpec(job=i, dag=dag, origin=i % 8, arrival=now, deadline=now + deadline)
+
+
+async def _request(host, port, method, path, body=None):
+    reader, writer = await asyncio.open_connection(host, port)
+    payload = json.dumps(body).encode() if body is not None else b""
+    writer.write(
+        f"{method} {path} HTTP/1.1\r\n"
+        f"Host: {host}\r\n"
+        f"Content-Length: {len(payload)}\r\n\r\n".encode() + payload
+    )
+    await writer.drain()
+    raw = await reader.read()
+    writer.close()
+    head, _, resp_body = raw.partition(b"\r\n\r\n")
+    return int(head.split()[1]), json.loads(resp_body)
+
+
+# -- /health -----------------------------------------------------------------
+
+
+async def _health_scenario():
+    res = ResidentSimulation(_config())
+    svc = AdmissionService(res, queue_capacity=32)
+    svc.start()
+    server = AdmissionHTTPServer(svc, seed=1)
+    host, port = await server.start()
+    out = {}
+    out["ready"] = await _request(host, port, "GET", "/health")
+    svc._degraded = True  # force the breaker open
+    out["degraded"] = await _request(host, port, "GET", "/health")
+    svc._degraded = False
+    await svc.drain()
+    out["draining"] = await _request(host, port, "GET", "/health")
+    await server.close()
+    return out
+
+
+def test_health_endpoint_states():
+    out = asyncio.run(_health_scenario())
+    assert out["ready"] == (200, {"status": "ready"})
+    assert out["degraded"] == (503, {"status": "degraded"})
+    assert out["draining"] == (503, {"status": "draining"})
+
+
+# -- degraded breaker --------------------------------------------------------
+
+
+def _decision(i, accepted):
+    return JobRecord(
+        job=i, origin=0, arrival=float(i), deadline=float(i) + 10.0,
+        n_tasks=1, total_work=1.0,
+        outcome=JobOutcome.ACCEPTED_LOCAL if accepted else JobOutcome.REJECTED_VALIDATION,
+        decided_at=float(i),
+    )
+
+
+def _breaker_service(floor=0.5, window=10):
+    res = ResidentSimulation(_config())
+    return res, AdmissionService(
+        res, queue_capacity=8, degraded_floor=floor, degraded_window=window
+    )
+
+
+def test_breaker_validates_params():
+    res = ResidentSimulation(_config())
+    with pytest.raises(ConfigError):
+        AdmissionService(res, degraded_floor=1.5)
+    with pytest.raises(ConfigError):
+        AdmissionService(res, degraded_floor=0.5, degraded_window=0)
+
+
+def test_breaker_needs_full_window():
+    """A cold window never trips, even on consecutive rejects."""
+    _, svc = _breaker_service(floor=0.5, window=10)
+    for i in range(9):
+        svc._on_decide(_decision(i, accepted=False))
+    assert not svc.degraded
+
+
+def test_breaker_trips_and_recovers():
+    res, svc = _breaker_service(floor=0.5, window=10)
+    for i in range(10):
+        svc._on_decide(_decision(i, accepted=False))
+    assert svc.degraded
+    assert svc.stats.degraded_entered == 1
+    # while open, submit_nowait sheds without queueing
+    job = _job(100, res)
+    assert svc.submit_nowait(job) is False
+    assert svc.stats.shed_degraded == 1
+    assert svc.queue_depth == 0
+    # a run of accepts closes it again
+    for i in range(10, 20):
+        svc._on_decide(_decision(i, accepted=True))
+    assert not svc.degraded
+    assert svc.stats.degraded_entered == 1
+    assert svc.submit_nowait(_job(101, res)) is True
+
+
+def test_breaker_off_by_default():
+    res = ResidentSimulation(_config())
+    svc = AdmissionService(res, queue_capacity=8)
+    for i in range(50):
+        svc._on_decide(_decision(i, accepted=False))
+    assert not svc.degraded
+    assert svc.submit_nowait(_job(200, res)) is True
+
+
+# -- fault arming through the service ---------------------------------------
+
+
+def test_fault_horizon_threads_to_arming():
+    plan = FaultPlan.from_spec("joins=1,join_links=2")
+    res = ResidentSimulation(
+        _config(faults=plan, routing="oracle"), fault_horizon=500.0
+    )
+    assert res.resident.membership is not None
+    events = res.resident.membership.events
+    assert events and all(0.0 <= e.time <= 500.0 for e in events)
+
+
+@given(seed=st.integers(min_value=0, max_value=50))
+@settings(max_examples=8, deadline=None)
+def test_zero_plan_service_run_is_noop(seed):
+    """Property: a zero fault plan through the resident service is a
+    bit-for-bit no-op against the plan-less service run."""
+
+    def run(faults):
+        async def drive():
+            res = ResidentSimulation(_config(seed=seed, faults=faults))
+            async with AdmissionService(res, queue_capacity=32) as svc:
+                for i in range(20):
+                    await svc.submit(_job(i, res))
+            return res.scalar_metrics()
+
+        return asyncio.run(drive())
+
+    assert scalars_equal(run(None), run(FaultPlan()))

@@ -112,9 +112,36 @@ class TestParserIntrospection:
         sub = next(
             a for a in parser._actions if isinstance(a, argparse._SubParsersAction)
         )
-        assert {"example", "run", "campaign", "sweep-faults", "sweep-load"} <= set(
-            sub.choices
+        assert {
+            "example", "run", "campaign", "sweep-faults", "sweep-load",
+            "soak", "chaos",
+        } <= set(sub.choices)
+
+
+class TestSurvivability:
+    def test_soak_with_faults(self, capsys):
+        rc, out = run_cli(
+            capsys, "soak", "--sites", "8", "--target-jobs", "400",
+            "--sample-every", "200", "--routing", "oracle",
+            "--faults", "joins=1,join_links=2", "--fault-horizon", "800",
         )
+        assert rc == 0
+        assert "E12 soak" in out
+        assert "leaked_unfinished  : 0" in out
+
+    def test_chaos_smoke(self, capsys, tmp_path):
+        metrics = tmp_path / "chaos.jsonl"
+        rc, out = run_cli(
+            capsys, "chaos", "--sites", "10", "--joins", "1",
+            "--join-links", "2", "--site-churn", "2", "--mean-downtime", "20",
+            "--target-jobs", "500", "--sample-every", "200",
+            "--seed", "1", "--metrics", str(metrics),
+        )
+        assert rc == 0
+        assert "E13 chaos soak" in out
+        assert "joins_applied" in out
+        assert "tables_converged" in out
+        assert metrics.exists() and metrics.read_text().strip()
 
 
 class TestSweeps:

@@ -88,6 +88,25 @@ class TestDesignMd:
             assert concept.lower() in lower, f"DESIGN.md must document {concept!r}"
         assert "BENCH_e12.json" in text
 
+    def test_membership_section(self):
+        """DESIGN.md §14 must document the survivability contracts."""
+        text = read("DESIGN.md")
+        assert "Membership & survivability model" in text
+        assert "`repro.membership`" in text
+        lower = text.lower()
+        for concept in (
+            "join/rejoin",
+            "incremental routing repair",
+            "bit-for-bit",
+            "affected set",
+            "lost_coordinator",
+            "bully election",
+            "degraded_floor",
+            "rtds chaos",
+        ):
+            assert concept.lower() in lower, f"DESIGN.md must document {concept!r}"
+        assert "BENCH_e13.json" in text
+
     def test_parallel_runtime_section(self):
         """The campaign runtime must stay documented where it is built."""
         text = read("DESIGN.md")
@@ -121,7 +140,7 @@ class TestExperimentsMd:
     def test_every_sweep_entry_has_a_cli_line(self):
         """Each E1–E8 artifact must carry the exact line that reproduces it."""
         text = read("EXPERIMENTS.md")
-        for exp in ("E1", "E1b", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12"):
+        for exp in ("E1", "E1b", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13"):
             assert re.search(rf"### {re.escape(exp)} —", text), f"missing entry {exp}"
         # every experiment entry is followed by a runnable command line
         entries = re.split(r"### ", text)[1:]
@@ -171,6 +190,17 @@ class TestExperimentsMd:
         assert "--target-jobs 100000" in text
         assert "open-loop" in text
         assert "test_soak_fast.py" in text
+
+    def test_e13_entry_names_gate_and_cli(self):
+        """E13 must document its chaos gate, the CLI and the test lockdown."""
+        text = read("EXPERIMENTS.md")
+        assert "bench_e13_chaos.py" in text
+        assert "BENCH_e13.json" in text
+        assert "rtds chaos" in text
+        assert "--faults" in text
+        assert "tables_converged" in text
+        assert "test_repair.py" in text
+        assert "test_chaos.py" in text
 
 
 class TestReadme:
