@@ -17,6 +17,12 @@ Two scenarios, both fully deterministic:
   costs < 10% macro throughput; ``--check`` enforces it by comparing
   macro_obs against macro *within the same run* (same machine, same
   thermal state), not against the committed baseline.
+* **cache** — a ``trace:montage`` cell, the repeated-DAG-shape regime
+  the admission plan cache (DESIGN.md §15) exists for. Reports
+  events/sec plus the cache's hit rate; ``--check`` gates a hit-rate
+  floor (``--cache-floor``, default 0.10) so the cache cannot silently
+  stop paying — the cache-on ≡ cache-off identity itself is pinned by
+  ``tests/cache/``, not here.
 
 Both report **events per second**; the macro scenario reports it twice —
 against the *whole* ``run_experiment`` wall (what a campaign user feels)
@@ -58,6 +64,15 @@ MACRO_CONFIG = dict(
     duration=3000.0,
     rho=0.7,
     seed=0,
+)
+
+CACHE_CONFIG = dict(
+    topology="erdos_renyi",
+    topology_kwargs={"n": 16, "p": 0.25, "delay_range": (0.2, 1.0)},
+    duration=600.0,
+    rho=0.7,
+    seed=5,
+    workload="trace:montage",
 )
 
 MICRO_TIMERS = 2_000
@@ -122,6 +137,26 @@ def run_macro_obs() -> Dict[str, float]:
     return run_macro(telemetry=True)
 
 
+def run_cache() -> Dict[str, float]:
+    """Trace-workload cell where the admission plan cache pays."""
+    cfg = ExperimentConfig(**CACHE_CONFIG)
+    t0 = time.perf_counter()
+    res = run_experiment(cfg)
+    wall = time.perf_counter() - t0
+    sim = res.network.sim
+    cache = res.network.admission_cache
+    return {
+        "events": float(sim.events_processed),
+        "wall_seconds": wall,
+        "events_per_sec": sim.events_processed / wall,
+        "cache_hit_rate": cache.hit_rate(),
+        "cache_hits": float(cache.hits),
+        "cache_misses": float(cache.misses),
+        "cache_uncacheable": float(cache.uncacheable),
+        "cache_invalidations": float(cache.invalidations),
+    }
+
+
 def best_of(fn: Callable[[], Dict[str, float]], reps: int) -> Dict[str, float]:
     """Run ``fn`` ``reps`` times, keep the lowest-wall (least-noise) rep."""
     best = None
@@ -162,7 +197,8 @@ def measure(reps: int = 3) -> Dict[str, Dict[str, float]]:
     obs_best["paired_throughput_ratio"] = max(
         best_pair, obs_best["events_per_sec"] / macro_best["events_per_sec"]
     )
-    return {"micro": micro, "macro": macro_best, "macro_obs": obs_best}
+    cache = best_of(run_cache, reps)
+    return {"micro": micro, "macro": macro_best, "macro_obs": obs_best, "cache": cache}
 
 
 def render(results: Dict[str, Dict[str, float]]) -> str:
@@ -175,6 +211,12 @@ def render(results: Dict[str, Dict[str, float]]) -> str:
             lines.append(
                 f"{'':<8}  {'(loop only)':>9}  {r['sim_wall_seconds']:>8.3f}  {r['events_per_sec_sim']:>10.0f}"
             )
+        if "cache_hit_rate" in r:
+            lines.append(
+                f"{'':<8}  hit rate {r['cache_hit_rate']:.1%} "
+                f"({int(r['cache_hits'])} hits / {int(r['cache_misses'])} misses / "
+                f"{int(r['cache_uncacheable'])} uncacheable)"
+            )
     return "\n".join(lines)
 
 
@@ -183,6 +225,7 @@ def check_regression(
     baseline_path: pathlib.Path,
     tolerance: float,
     obs_tolerance: float,
+    cache_floor: float,
 ) -> int:
     baseline = json.loads(baseline_path.read_text())["scenarios"]
     base = baseline["macro"]["events_per_sec"]
@@ -213,6 +256,18 @@ def check_regression(
             f"obs ok: macro_obs at {ratio:.1%} of paired macro throughput "
             f"(contract: >= {obs_tolerance:.0%})"
         )
+    # the plan-cache gate: hit rate on the trace scenario is deterministic
+    # (same seed, same workload), so an absolute floor is meaningful
+    hit_rate = results["cache"]["cache_hit_rate"]
+    if hit_rate < cache_floor:
+        print(
+            f"CACHE REGRESSION: trace-scenario hit rate {hit_rate:.1%} < "
+            f"floor {cache_floor:.0%}",
+            file=sys.stderr,
+        )
+        rc = 1
+    else:
+        print(f"cache ok: trace-scenario hit rate {hit_rate:.1%} >= floor {cache_floor:.0%}")
     return rc
 
 
@@ -222,6 +277,7 @@ def write_json(results: Dict[str, Dict[str, float]], path: pathlib.Path) -> None
             {
                 "bench": "e9_hotpath",
                 "macro_config": {k: repr(v) for k, v in MACRO_CONFIG.items()},
+                "cache_config": {k: repr(v) for k, v in CACHE_CONFIG.items()},
                 "scenarios": results,
             },
             indent=2,
@@ -243,6 +299,7 @@ def test_e9_hotpath(benchmark, emit):
     assert results["micro"]["events_per_sec"] > 10_000
     assert results["macro"]["events_per_sec"] > 1_000
     assert results["macro_obs"]["events_per_sec"] > 1_000
+    assert results["cache"]["cache_hit_rate"] >= 0.10
 
 
 def main(argv=None) -> int:
@@ -258,6 +315,10 @@ def main(argv=None) -> int:
         help="macro_obs must reach this fraction of the same run's macro "
         "events/sec (the <10%% telemetry overhead contract)",
     )
+    parser.add_argument(
+        "--cache-floor", type=float, default=0.10, dest="cache_floor",
+        help="minimum admission-cache hit rate on the trace scenario",
+    )
     parser.add_argument("--reps", type=int, default=3)
     args = parser.parse_args(argv)
     results = measure(args.reps)
@@ -266,7 +327,9 @@ def main(argv=None) -> int:
         write_json(results, args.out)
         print(f"wrote {args.out}")
     if args.check is not None:
-        return check_regression(results, args.check, args.tolerance, args.obs_tolerance)
+        return check_regression(
+            results, args.check, args.tolerance, args.obs_tolerance, args.cache_floor
+        )
     return 0
 
 

@@ -21,7 +21,8 @@ from dataclasses import replace
 
 import numpy as np
 
-from repro import ExperimentConfig, RTDSConfig, run_experiment
+from repro import RTDSConfig
+from repro.api import ExperimentConfig, run
 from repro.experiments.reporting import format_kv, format_table
 from repro.graphs.dag import Dag, Task
 
@@ -66,7 +67,7 @@ def main() -> None:
     per_algo = {}
     for algo in ("local", "rtds", "centralized"):
         cfg = replace(BASE, algorithm=algo, label=algo)
-        res = run_experiment(cfg)
+        res = run(cfg)
         per_algo[algo] = res
         rows.append(res.summary.row())
 

@@ -10,7 +10,8 @@ This is the 60-second tour of the library:
 Run:  python examples/quickstart.py
 """
 
-from repro import ExperimentConfig, JobOutcome, RTDSConfig, run_experiment
+from repro import JobOutcome, RTDSConfig
+from repro.api import ExperimentConfig, run
 from repro.experiments.reporting import format_kv, format_table
 
 
@@ -29,7 +30,7 @@ def main() -> None:
         seed=42,
     )
 
-    result = run_experiment(config)
+    result = run(config)
     s = result.summary
 
     print(format_table([s.row()], title="RTDS on 16 sites, rho=0.7"))

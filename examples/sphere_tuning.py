@@ -17,7 +17,8 @@ Run:  python examples/sphere_tuning.py              (~1 minute)
 
 from dataclasses import replace
 
-from repro import ExperimentConfig, RTDSConfig, run_experiment
+from repro import RTDSConfig
+from repro.api import ExperimentConfig, run
 from repro.experiments.evaluation import sweep_ablations, sweep_sphere_radius
 from repro.experiments.reporting import format_table
 
@@ -55,7 +56,7 @@ def main() -> None:
             rtds=RTDSConfig(h=2, max_acs_size=cap),
             label=f"acs<={cap}" if cap else "acs unbounded",
         )
-        s = run_experiment(cfg).summary
+        s = run(cfg).summary
         rows.append(
             {
                 "ACS bound": cap or "none",

@@ -1,0 +1,168 @@
+"""The stable experiment API — one import for every way to run the system.
+
+Everything a user script, notebook, or CI job needs lives behind five
+verbs; the subpackages stay importable for power use, but this module is
+the supported surface and the one the README/examples build on:
+
+``run(config, workload=None)``
+    One experiment: build the network, run routing, push a workload
+    through admission, summarize. Deterministic per ``config.seed``.
+``campaign(base, algorithms, seeds, ...)``
+    The same base configuration fanned across algorithms × seeds, with
+    optional process parallelism, a resumable on-disk store, and
+    per-cell progress.
+``soak(config, progress=None)``
+    A long-lived open-loop service soak (E12): jobs stream through the
+    admission service against one resident network; periodic samples.
+``chaos(config, progress=None)``
+    The E13 chaos soak: membership joins, site churn, and message loss
+    layered on a soak.
+``trace(config, out=None)``
+    One telemetry-enabled run exported as a Chrome trace-event timeline
+    (open in https://ui.perfetto.dev) for span-by-span inspection.
+
+All five are thin, documented delegates — no behavior of their own — so
+``repro.api`` results are bit-for-bit those of the underlying modules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Any, Callable, Dict, Iterable, Optional, Sequence, Tuple
+
+from repro.experiments.campaign import Campaign
+from repro.experiments.chaos import ChaosConfig, ChaosReport, ChaosSample, run_chaos
+from repro.experiments.runner import ExperimentConfig, RunResult, run_experiment
+from repro.experiments.soak import SoakConfig, SoakReport, SoakSample, run_soak
+from repro.workloads.jobs import Workload
+
+__all__ = [
+    "ExperimentConfig",
+    "RunResult",
+    "Campaign",
+    "SoakConfig",
+    "SoakReport",
+    "SoakSample",
+    "ChaosConfig",
+    "ChaosReport",
+    "ChaosSample",
+    "run",
+    "campaign",
+    "soak",
+    "chaos",
+    "trace",
+]
+
+
+def run(config: ExperimentConfig, workload: Optional[Workload] = None) -> RunResult:
+    """Run one experiment; returns its :class:`RunResult`.
+
+    Parameters
+    ----------
+    config:
+        The declarative experiment description (topology, algorithm,
+        workload knobs, seed). Same config → same result, bit for bit.
+    workload:
+        ``None`` (default) generates the config's seeded batch workload.
+        An explicit :class:`~repro.workloads.jobs.Workload` replays that
+        job list instead — e.g. a captured open-loop stream — making the
+        config's ``rho``/``duration``/``dag_size`` knobs irrelevant.
+    """
+    return run_experiment(config, workload=workload)
+
+
+def campaign(
+    base: ExperimentConfig,
+    algorithms: Sequence[str],
+    seeds: Iterable[int],
+    executor: Any = None,
+    store: Any = None,
+    resume: bool = True,
+    progress: Optional[Callable] = None,
+) -> Campaign:
+    """Run ``base`` across ``algorithms`` × ``seeds``; returns the campaign.
+
+    All cells are executed (or restored from ``store``) before this
+    returns; read results via the returned object's ``table(algorithms)``,
+    ``compare(a, b)``, or ``run(algorithm)``.
+
+    Parameters
+    ----------
+    base:
+        Config every cell derives from (``algorithm``/``seed`` replaced).
+    algorithms:
+        Algorithm names to compare (e.g. ``["rtds", "centralized"]``).
+    seeds:
+        Seeds each algorithm runs under; cells are (algorithm, seed).
+    executor:
+        ``None``/``"serial"``, ``"pool(n)"`` or an int for a process
+        pool, or an executor instance.
+    store:
+        Optional :class:`~repro.experiments.parallel.CampaignStore` for
+        persistence; with ``resume`` (default) completed cells are not
+        re-run.
+    progress:
+        Callback fired per executed cell ``(result, done, total)``.
+    """
+    camp = Campaign(
+        base,
+        seeds=seeds,
+        executor=executor,
+        store=store,
+        resume=resume,
+        progress=progress,
+    )
+    camp.prefetch(list(algorithms))
+    return camp
+
+
+def soak(
+    config: SoakConfig,
+    progress: Optional[Callable[[SoakSample], None]] = None,
+) -> SoakReport:
+    """Run an open-loop service soak to completion (E12).
+
+    Streams ``config.target_jobs`` arrivals through the admission
+    service against one resident network, sampling throughput, latency
+    percentiles, guarantee ratio, and memory every
+    ``config.sample_every`` jobs. ``progress`` fires per sample.
+    """
+    return run_soak(config, progress=progress)
+
+
+def chaos(
+    config: ChaosConfig,
+    progress: Optional[Callable[[ChaosSample], None]] = None,
+) -> ChaosReport:
+    """Run the E13 chaos soak: a service soak under joins/churn/loss.
+
+    Membership joins, site downtime, and message loss run against the
+    soak while it streams jobs; the report adds repair and shedding
+    counters to the soak samples. ``progress`` fires per sample.
+    """
+    return run_chaos(config, progress=progress)
+
+
+def trace(
+    config: ExperimentConfig, out: Optional[str] = None
+) -> Tuple[RunResult, Dict[str, Any]]:
+    """Run once with telemetry on; return (result, Chrome trace document).
+
+    The document follows the Chrome trace-event format — one lane per
+    site, one span per protocol phase of every job — and is validated
+    before it is returned. With ``out`` it is also written to that path.
+    Telemetry is forced on; everything else in ``config`` applies as
+    given (telemetry changes no simulation result, only observes it).
+    """
+    from repro.errors import ConfigError
+    from repro.obs.export import chrome_trace, validate_chrome_trace, write_chrome_trace
+
+    cfg = config if config.telemetry else replace(config, telemetry=True)
+    result = run_experiment(cfg)
+    doc = chrome_trace(result.telemetry)
+    problems = validate_chrome_trace(doc)
+    if problems:
+        raise ConfigError("invalid chrome trace: " + "; ".join(problems))
+    if out is not None:
+        write_chrome_trace(result.telemetry, out)
+    return result, doc

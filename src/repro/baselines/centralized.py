@@ -129,7 +129,7 @@ class CentralizedCoordinator:
         }
 
         prio = bottom_levels(ctx.dag)
-        topo_index = {t: i for i, t in enumerate(ctx.dag.topological_order())}
+        topo_index = ctx.dag.topo_index()
         heap = [
             (-prio[t], topo_index[t], t)
             for t in ctx.dag

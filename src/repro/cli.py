@@ -48,7 +48,8 @@ from repro.experiments.paper_example import (
     table1_rows,
 )
 from repro.experiments.reporting import format_kv, format_table
-from repro.experiments.runner import ExperimentConfig, run_experiment
+from repro import api
+from repro.experiments.runner import ExperimentConfig
 from repro.graphs.generators import paper_example_dag
 from repro.viz.dagviz import render_dag
 from repro.viz.gantt import render_gantt, schedule_to_items
@@ -171,7 +172,7 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     profiler = cProfile.Profile()
     t0 = time.perf_counter()
     profiler.enable()
-    res = run_experiment(cfg)
+    res = api.run(cfg)
     profiler.disable()
     wall = time.perf_counter() - t0
     sim = res.network.sim
@@ -195,7 +196,7 @@ def _profile_telemetry(args: argparse.Namespace) -> int:
     from repro.obs.export import metrics_records
 
     cfg = replace(_base_config(args), algorithm=args.algorithm, telemetry=True)
-    res = run_experiment(cfg)
+    res = api.run(cfg)
     obs = res.telemetry
     sim = res.network.sim
     print(
@@ -239,28 +240,21 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     ``--paper-example`` runs the Figure-1 scenario: a 4-site complete
     network fed Fig. 2 DAGs — small enough to read span by span.
     """
-    from repro.obs.export import (
-        chrome_trace,
-        validate_chrome_trace,
-        write_chrome_trace,
-        write_metrics_jsonl,
-    )
+    from repro.obs.export import write_metrics_jsonl
 
     if args.paper_example:
         from repro.experiments.paper_example import paper_example_config
 
-        cfg = replace(paper_example_config(seed=args.seed), telemetry=True)
+        cfg = paper_example_config(seed=args.seed)
     else:
-        cfg = replace(_base_config(args), algorithm=args.algorithm, telemetry=True)
-    res = run_experiment(cfg)
-    obs = res.telemetry
-    doc = chrome_trace(obs)
-    problems = validate_chrome_trace(doc)
-    if problems:
-        for p in problems:
-            print(f"error: invalid trace: {p}", file=sys.stderr)
+        cfg = replace(_base_config(args), algorithm=args.algorithm)
+    try:
+        res, doc = api.trace(cfg, out=args.out)
+    except ConfigError as err:
+        print(f"error: {err}", file=sys.stderr)
         return 1
-    n_events = write_chrome_trace(obs, args.out)
+    obs = res.telemetry
+    n_events = len(doc["traceEvents"])
     admitted = [r for r in res.collector.records() if r.outcome.accepted]
     spanned = {
         cat: {s.key for s in obs.spans if s.category == cat}
@@ -347,7 +341,7 @@ def _cmd_stats(args: argparse.Namespace) -> int:
 
 def _cmd_run(args: argparse.Namespace) -> int:
     cfg = replace(_base_config(args), algorithm=args.algorithm)
-    res = run_experiment(cfg)
+    res = api.run(cfg)
     print(format_table([res.summary.row()], title=f"run: {args.algorithm}"))
     if res.summary.rejected_by:
         print(format_kv("rejections", res.summary.rejected_by))
@@ -359,13 +353,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 
 def _cmd_campaign(args: argparse.Namespace) -> int:
-    from repro.experiments.campaign import Campaign
-
     base = _base_config(args)
     algos = args.algorithms.split(",")
     try:
-        camp = Campaign(
+        camp = api.campaign(
             base,
+            algos,
             seeds=range(args.seed, args.seed + args.runs),
             executor=args.jobs,
             store=_campaign_store(args, args.name),
@@ -518,7 +511,7 @@ def _cmd_ablations(args: argparse.Namespace) -> int:
 def _cmd_soak(args: argparse.Namespace) -> int:
     import pathlib
 
-    from repro.experiments.soak import SoakConfig, SoakSample, run_soak
+    from repro.experiments.soak import SoakConfig, SoakSample
 
     cfg = SoakConfig(
         n_sites=args.sites,
@@ -545,7 +538,7 @@ def _cmd_soak(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
 
-    report = run_soak(cfg, progress=progress)
+    report = api.soak(cfg, progress=progress)
     print(
         format_kv(
             f"E12 soak ({args.arrival}, {args.sites} sites)",
@@ -574,7 +567,7 @@ def _cmd_soak(args: argparse.Namespace) -> int:
 def _cmd_chaos(args: argparse.Namespace) -> int:
     import pathlib
 
-    from repro.experiments.chaos import ChaosConfig, ChaosSample, run_chaos
+    from repro.experiments.chaos import ChaosConfig, ChaosSample
 
     cfg = ChaosConfig(
         n_sites=args.sites,
@@ -600,7 +593,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
 
-    report = run_chaos(cfg, progress=progress)
+    report = api.chaos(cfg, progress=progress)
     print(
         format_kv(
             f"E13 chaos soak ({args.sites} sites + {args.joins} joins, "

@@ -73,18 +73,9 @@ def local_guarantee_test(
         tasks = blazewicz_windows(dag, job, release, deadline, speed)
         slots = preemptive_chunks(timeline, tasks, not_before=now)
     else:
-        if abs(speed - 1.0) > 1e-12:
-            scaled = Dag(
-                [
-                    type(dag.task(t))(t, dag.complexity(t) / speed, dag.task(t).data_volume)
-                    for t in dag.topological_order()
-                ],
-                dag.edges,
-                name=dag.name,
-            )
-            slots = try_schedule_dag_locally(timeline, scaled, job, release, deadline, now)
-        else:
-            slots = try_schedule_dag_locally(timeline, dag, job, release, deadline, now)
+        slots = try_schedule_dag_locally(
+            timeline, dag, job, release, deadline, now, speed=speed
+        )
     if slots is None:
         return None
     gates: Dict[Key, Set[Token]] = {}

@@ -69,7 +69,7 @@ def build_trial_mapping(
         raise MappingError(f"omega must be >= 0, got {omega}")
 
     prio = bottom_levels(dag)
-    topo_index = {t: i for i, t in enumerate(dag.topological_order())}
+    topo_index = dag.topo_index()
 
     assignment: Dict[TaskId, LogicalProc] = {}
     start: Dict[TaskId, Time] = {}
@@ -79,6 +79,15 @@ def build_trial_mapping(
     scratch: Dict[int, BusyTimeline] = {
         i: p.timeline.copy() for i, p in enumerate(procs) if p.timeline is not None
     }
+    # hoisted per-proc estimate state: estimated_duration is c / (I·speed)
+    # (eq. (1)) and runs |T|·|U| times — precomputing the denominator keeps
+    # the division (bit-identical) and drops the method dispatch; a None
+    # denominator marks a §13 local-knowledge proc (real insertion instead)
+    est_denom: List[Optional[float]] = [
+        None if p.timeline is not None else p.surplus * p.speed for p in procs
+    ]
+    speeds: List[float] = [p.speed for p in procs]
+    n_procs = len(procs)
 
     # Free list as a heap of (-priority, topo_index, task).
     unmapped_preds = {t: len(dag.predecessors(t)) for t in dag}
@@ -90,20 +99,20 @@ def build_trial_mapping(
         c = dag.complexity(t)
         preds = dag.predecessors(t)
         best: Optional[Tuple[Time, int, Time]] = None  # (finish, proc, start)
-        for i, spec in enumerate(procs):
+        for i in range(n_procs):
             ready = job_release
             for p in preds:
                 pf = finish[p] if assignment[p] == i else finish[p] + omega
                 if pf > ready:
                     ready = pf
-            if spec.timeline is None:
-                dur = spec.estimated_duration(c)
+            denom = est_denom[i]
+            if denom is not None:
                 s = proc_avail[i]
                 if ready > s:
                     s = ready
-                f = s + dur
+                f = s + c / denom
             else:
-                dur = spec.optimistic_duration(c)
+                dur = c / speeds[i]
                 lo = proc_avail[i]
                 if ready > lo:
                     lo = ready

@@ -44,7 +44,8 @@ from repro.core.messages import (
     MSG_VALIDATE_ACK,
 )
 from repro.core.trial_mapping import LogicalProcSpec
-from repro.core.validation import compute_permutation, endorse_mapping
+from repro.core.admission_cache import AdmissionCache
+from repro.core.validation import compute_permutation
 from repro.errors import ProtocolError
 from repro.graphs.analysis import critical_path_length
 from repro.graphs.dag import Dag
@@ -100,6 +101,14 @@ class RTDSSite(SiteBase):
         make_routing = routing_factory if routing_factory is not None else PhasedBellmanFord
         self.routing = make_routing(self, config.pcs_phases, on_done=self._routing_done)
         self.pcs: Optional[PCS] = None
+        # One admission cache per network, shared by all sites (cross-site
+        # result sharing via the plan state digest); the experiment runner
+        # attaches a pre-configured one, standalone sites get a default.
+        cache = getattr(network, "admission_cache", None)
+        if cache is None:
+            cache = AdmissionCache()
+            network.admission_cache = cache
+        self.admission_cache = cache
         self.lock = SiteLock(sid)
         #: initiator-side session (one at a time; the lock enforces it)
         self.session: Optional[AcsSession] = None
@@ -169,6 +178,7 @@ class RTDSSite(SiteBase):
         """
         if not self.routing.done:
             return
+        self.drop_route_caches()
         self.pcs = build_pcs(self.routing.table, self.config.h)
         self.trace("pcs.refreshed", h=self.config.h, members=len(self.pcs))
 
@@ -353,7 +363,14 @@ class RTDSSite(SiteBase):
         self._send_enroll_ack(job, initiator, members)
 
     def _send_enroll_ack(self, job: JobId, initiator: SiteId, members: List[SiteId]) -> None:
-        distances = self.routing.table.distances_to(members, exclude=self.sid)
+        # memoized per member tuple: every admission from the same initiator
+        # asks this site for the same distance vector; dropped with the
+        # other route caches whenever a repair touches this row
+        dist_key = ("enroll_dist", tuple(members))
+        distances = self.route_answers.get(dist_key)
+        if distances is None:
+            distances = self.routing.table.distances_to(members, exclude=self.sid)
+            self.route_answers[dist_key] = distances
         # one timeline walk: busyness is 1 - surplus by definition
         surplus = self.plan.surplus(self.now)
         self.send_to(
@@ -651,6 +668,7 @@ class RTDSSite(SiteBase):
         self._count("lease_expired")
         self._validate_cache.pop(job, None)
         self._validate_ack.pop(job, None)
+        self.admission_cache.invalidate_job(job)
         self.lock.release(initiator, job)
         self._drain_deferred()
 
@@ -807,8 +825,8 @@ class RTDSSite(SiteBase):
                 lambda job=s.job: self._validate_ack_timeout(job), members, size=size
             )
         # The initiator endorses locally with the same test.
-        endorsed, slots = endorse_mapping(
-            self.plan.timeline,
+        endorsed, slots = self.admission_cache.endorse(
+            self.plan,
             s.job,
             procs,
             self.now,
@@ -858,8 +876,8 @@ class RTDSSite(SiteBase):
             )
         self._renew_lease(initiator, job)
         procs = msg.payload["procs"]
-        endorsed, slots = endorse_mapping(
-            self.plan.timeline,
+        endorsed, slots = self.admission_cache.endorse(
+            self.plan,
             job,
             procs,
             self.now,
@@ -964,6 +982,7 @@ class RTDSSite(SiteBase):
         self._decide(ctx, JobOutcome.ACCEPTED_DISTRIBUTED, hosts=hosts, acs_size=len(members) + 1)
         s.phase = AcsSession.FINISHED
         self.session = None
+        self.admission_cache.invalidate_job(s.job)
         self._release_own_lock(s.job)
 
     def _h_execute(self, msg: Message) -> None:
@@ -991,6 +1010,7 @@ class RTDSSite(SiteBase):
                 f"but lock is {self.lock.owner}"
             )
         slots_by_proc = self._validate_cache.pop(job, {})
+        self.admission_cache.invalidate_job(job)
         my_procs = [p for p, site in perm.items() if site == self.sid]
         if my_procs:
             self._commit_assignment(
@@ -1059,6 +1079,7 @@ class RTDSSite(SiteBase):
         if self.lock.held_by(initiator, job):
             self._validate_cache.pop(job, None)
             self._validate_ack.pop(job, None)
+            self.admission_cache.invalidate_job(job)
             self._cancel_lease()
             self.lock.release(initiator, job)
             if self.trace_on:
@@ -1114,6 +1135,7 @@ class RTDSSite(SiteBase):
             sphere_broadcast(self, members, MSG_UNLOCK, {"job": s.job}, size=1.0)
         s.phase = AcsSession.FINISHED
         self.session = None
+        self.admission_cache.invalidate_job(s.job)
         self._decide(ctx, outcome, acs_size=len(members) + 1 if members else None)
         self._release_own_lock(s.job)
 

@@ -17,14 +17,63 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.sched.feasibility import WindowTask, try_schedule_window_tasks
+from repro.sched.feasibility import WindowTask
 from repro.sched.intervals import BusyTimeline, Reservation
 from repro.sched.matching import perfect_left_matching
 from repro.sched.preemptive import preemptive_chunks
+from repro.sched.soa import fit_and_hold
 from repro.types import JobId, LogicalProc, SiteId, TaskId, Time
 
 #: VALIDATE payload entry: (task, complexity, release, deadline)
 ProcTasks = Dict[LogicalProc, List[Tuple[TaskId, float, Time, Time]]]
+
+#: internal probe entry: (task, duration, release, deadline)
+_Entry = Tuple[TaskId, Time, Time, Time]
+
+
+def _edf_key(e: _Entry) -> Tuple[Time, Time, str]:
+    return (e[3], e[2], repr(e[0]))
+
+
+def _llf_key(e: _Entry) -> Tuple[Time, Time, str]:
+    return ((e[3] - e[2]) - e[1], e[3], repr(e[0]))
+
+
+_ENTRY_ORDERS = {"edf": _edf_key, "llf": _llf_key}
+
+
+def _probe_window_entries(
+    timeline: BusyTimeline,
+    job: JobId,
+    entries: List[_Entry],
+    not_before: Time,
+    order: str,
+) -> Optional[List[Reservation]]:
+    """Flat-array §10 satisfiability test over payload entries.
+
+    Semantically identical to building :class:`WindowTask` objects and
+    calling ``try_schedule_window_tasks`` — same ordering keys (duration
+    does not enter the EDF key; laxity is ``(d - r) - duration``), same
+    EPS probing — with the object layer stripped off the hot path.
+    """
+    try:
+        key = _ENTRY_ORDERS[order]
+    except KeyError:
+        raise ValueError(
+            f"unknown insertion order {order!r}; known: {sorted(_ENTRY_ORDERS)}"
+        ) from None
+    starts, ends = timeline.scratch_arrays()
+    placed: List[Tuple[Time, _Entry]] = []
+    for e in sorted(entries, key=key):
+        lo = e[2] if e[2] > not_before else not_before
+        start = fit_and_hold(starts, ends, e[1], lo, e[3])
+        if start is None:
+            return None
+        placed.append((start, e))
+    return [
+        Reservation(s, s + e[1], job, e[0], release=e[2], deadline=e[3])
+        for (s, e) in placed
+    ]
 
 
 def endorse_mapping(
@@ -48,15 +97,21 @@ def endorse_mapping(
     endorsed: List[LogicalProc] = []
     slots: Dict[LogicalProc, List[Reservation]] = {}
     for proc in sorted(procs):
-        tasks = [
-            WindowTask(job, tid, c / speed, r, d) for (tid, c, r, d) in procs[proc]
-        ]
-        if any(t.release + t.duration > t.deadline + 1e-9 for t in tasks):
-            continue  # window too small even on an empty machine
+        entries: List[_Entry] = []
+        too_tight = False
+        for (tid, c, r, d) in procs[proc]:
+            dur = c / speed
+            if r + dur > d + 1e-9:
+                too_tight = True  # window too small even on an empty machine
+                break
+            entries.append((tid, dur, r, d))
+        if too_tight:
+            continue
         if preemptive:
+            tasks = [WindowTask(job, tid, dur, r, d) for (tid, dur, r, d) in entries]
             fit = preemptive_chunks(timeline, tasks, not_before=now)
         else:
-            fit = try_schedule_window_tasks(timeline, tasks, not_before=now, order=order)
+            fit = _probe_window_entries(timeline, job, entries, not_before=now, order=order)
         if fit is not None:
             endorsed.append(proc)
             slots[proc] = fit

@@ -156,7 +156,7 @@ def sweep_uniform_machines(
     """E5b: heterogeneous computing powers (§13 uniform machines)."""
     rows: List[Dict[str, Any]] = []
     for name, speeds in speed_sets.items():
-        cfg = replace(base, algorithm="rtds", speeds=speeds, label=name)
+        cfg = replace(base, algorithm="rtds", site_speeds=list(speeds), label=name)
         res = run_experiment(cfg)
         rows.append(
             {

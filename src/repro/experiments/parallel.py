@@ -124,11 +124,16 @@ def config_fingerprint(config: ExperimentConfig) -> Dict[str, object]:
     column never invalidates its cached cells, and the observability-only
     ``telemetry`` flag is dropped so turning instrumentation on or off
     addresses the same cells (telemetry never changes results — the
-    identity goldens and the telemetry differential test pin that).
+    identity goldens and the telemetry differential test pin that). The
+    ``admission_cache`` flag is dropped for the same reason: the plan
+    cache is result-invisible by contract (cache-on ≡ cache-off bit for
+    bit, the ``tests/cache/`` differential), so serial ≡ pool identity
+    and cell addressing are untouched by it.
     """
     enc = _encode(config)
     enc.pop("label", None)
     enc.pop("telemetry", None)
+    enc.pop("admission_cache", None)
     return enc
 
 

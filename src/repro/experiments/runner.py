@@ -17,13 +17,16 @@ workload, random-offload choices, and the tie-break rules are seed-free.
 The two phases are also exposed separately: :func:`build_resident` runs
 phase 1 and returns a live :class:`ResidentNetwork` (the always-on network
 the admission service of :mod:`repro.service` keeps feeding), and
-:func:`run_experiment_with_workload` pushes an explicit job list through a
-fresh resident — the replay half of the service ≡ batch differential.
+``run_experiment(config, workload=...)`` pushes an explicit job list
+through a fresh resident — the replay half of the service ≡ batch
+differential. (:func:`run_experiment_with_workload` remains as a
+deprecated alias for that form.)
 """
 
 from __future__ import annotations
 
 import gc
+import warnings
 from contextlib import contextmanager, nullcontext
 from dataclasses import dataclass, field, replace
 from typing import Any, Callable, Dict, List, Optional
@@ -150,11 +153,32 @@ class ExperimentConfig:
     #: percentile timers, and returns it on ``RunResult.telemetry``.
     #: Observability-only: excluded from campaign cell keys like ``label``.
     telemetry: bool = False
+    #: admission plan cache (repro.core.admission_cache): memoized §10
+    #: validation endorsements, shared network-wide. Result-invisible by
+    #: contract — cache-on reproduces cache-off bit for bit (the
+    #: ``tests/cache/`` differential pins it) — so, like ``telemetry``, it
+    #: is excluded from ``config_fingerprint``: toggling it cannot change
+    #: a campaign cell key.
+    admission_cache: bool = True
     label: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.algorithm not in ALGORITHMS:
             raise ConfigError(f"unknown algorithm {self.algorithm!r}; known: {ALGORITHMS}")
+        if self.speeds is not None:
+            warnings.warn(
+                "ExperimentConfig.speeds is deprecated; pass site_speeds= "
+                "(an explicit vector cycles over sites exactly like speeds "
+                "did, and string profiles like 'skew:4' are also accepted)",
+                DeprecationWarning,
+                stacklevel=3,
+            )
+            if self.site_speeds is None:
+                # value-identical migration: resolve_site_speeds cycles an
+                # explicit vector with speeds[sid % len] semantics (floats
+                # coerced so numpy inputs fingerprint like python lists)
+                self.site_speeds = [float(s) for s in self.speeds]
+            self.speeds = None
         if self.routing_mode not in ("protocol", "oracle"):
             raise ConfigError(
                 f"unknown routing_mode {self.routing_mode!r}; known: ('protocol', 'oracle')"
@@ -274,14 +298,13 @@ class RunResult:
 def _speed_of(config: ExperimentConfig, topo: Topology, sid: int) -> float:
     """Per-site computing power of one run.
 
-    The topology-carried vector (resolved ``site_speeds``) wins; the
-    legacy cyclic ``speeds`` list is the fallback; 1.0 otherwise.
+    The topology-carried vector (resolved ``site_speeds``) is the single
+    source of truth — the legacy ``speeds`` list is folded into
+    ``site_speeds`` by ``ExperimentConfig.__post_init__``.
     """
     if topo.site_speeds is not None:
         return topo.site_speeds[sid]
-    if config.speeds is None:
-        return 1.0
-    return config.speeds[sid % len(config.speeds)]
+    return 1.0
 
 
 def _make_sites(
@@ -377,7 +400,15 @@ def _make_sites(
                 routing_factory=routing_factory,
             )
 
-    return build_network(topo, sim, factory, tracer, obs=obs), W, shared_by_phases
+    admission_cache = None
+    if config.algorithm == "rtds":
+        from repro.core.admission_cache import AdmissionCache
+
+        admission_cache = AdmissionCache(enabled=config.admission_cache)
+    net = build_network(
+        topo, sim, factory, tracer, obs=obs, admission_cache=admission_cache
+    )
+    return net, W, shared_by_phases
 
 
 @contextmanager
@@ -681,29 +712,39 @@ def build_resident(config: ExperimentConfig) -> ResidentNetwork:
     )
 
 
-def run_experiment(config: ExperimentConfig) -> RunResult:
-    """Build, run, summarize one experiment."""
+def run_experiment(
+    config: ExperimentConfig, workload: Optional[Workload] = None
+) -> RunResult:
+    """Build, run, summarize one experiment — the single batch entry point.
+
+    With the default ``workload=None`` the config's seeded batch workload
+    is generated and run. Passing an explicit
+    :class:`~repro.workloads.jobs.Workload` replays that job list through
+    a fresh resident network instead — the replay half of the service ≡
+    batch differential (e.g. an open-loop stream captured via
+    :func:`repro.workloads.openloop.open_loop_workload`). An explicit
+    workload makes the config's own generation knobs
+    (``rho``/``duration``/``dag_size``) irrelevant; everything else
+    applies as usual.
+    """
     with _gc_paused():
         resident = build_resident(config)
-        workload = _generate_batch_workload(config, resident)
+        if workload is None:
+            workload = _generate_batch_workload(config, resident)
         return _execute_workload(resident, workload)
 
 
 def run_experiment_with_workload(
     config: ExperimentConfig, workload: Workload
 ) -> RunResult:
-    """Push an explicit job list through a fresh resident network.
-
-    The replay half of the service ≡ batch differential: an open-loop
-    stream captured as a :class:`~repro.workloads.jobs.Workload` (e.g. via
-    :func:`repro.workloads.openloop.open_loop_workload`) runs through the
-    exact batch machinery, producing ``scalar_metrics`` to compare against
-    the streaming service's. Ignores the config's own workload knobs
-    (``rho``/``duration``/``dag_size``); everything else applies.
-    """
-    with _gc_paused():
-        resident = build_resident(config)
-        return _execute_workload(resident, workload)
+    """Deprecated: call ``run_experiment(config, workload=...)`` instead."""
+    warnings.warn(
+        "run_experiment_with_workload() is deprecated; "
+        "call run_experiment(config, workload=...) instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return run_experiment(config, workload=workload)
 
 
 def _generate_batch_workload(
@@ -827,6 +868,13 @@ def _record_run_telemetry(
             ok=rec.met_deadline is not False,
             hosts=len(rec.hosts) if rec.hosts else 0,
         )
+    cache = getattr(net, "admission_cache", None)
+    if cache is not None:
+        # plain-int counters folded in once at run end — the cache itself
+        # never touches the registry on the hot path
+        for name, value in cache.stats().items():
+            obs.gauge("admission_cache." + name, float(value))
+        obs.gauge("admission_cache.hit_rate", cache.hit_rate())
     obs.gauge("run.setup_sim_time", setup_time)
     obs.gauge("run.sim_time", sim.now)
     obs.gauge("run.jobs_arrived", metrics.n_arrived())

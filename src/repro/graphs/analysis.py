@@ -37,13 +37,10 @@ def bottom_levels(dag: Dag) -> Dict[TaskId, float]:
     """Node-weighted longest path from each task to a sink, inclusive.
 
     ``bl(t) = c(t) + max(bl(s) for s in Γ⁺(t))`` with ``bl(sink) = c(sink)``.
+    Delegates to the memoised map on the (immutable) ``dag`` — treat the
+    result as read-only.
     """
-    bl: Dict[TaskId, float] = {}
-    for t in reversed(dag.topological_order()):
-        succ = dag.successors(t)
-        best = max((bl[s] for s in succ), default=0.0)
-        bl[t] = dag.complexity(t) + best
-    return bl
+    return dag.bottom_levels()
 
 
 def top_levels(dag: Dag) -> Dict[TaskId, float]:

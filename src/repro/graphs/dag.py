@@ -17,7 +17,7 @@ simulator without copying.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, Iterator, Mapping, Tuple
+from typing import Dict, Iterable, Iterator, Mapping, Optional, Tuple
 
 from repro.errors import CycleError, DagError
 from repro.types import TaskId
@@ -66,7 +66,7 @@ class Dag:
         Optional human-readable label used by traces and reports.
     """
 
-    __slots__ = ("_tasks", "_preds", "_succs", "_edges", "_order", "name")
+    __slots__ = ("_tasks", "_preds", "_succs", "_edges", "_order", "name", "_bl", "_topo_index")
 
     def __init__(
         self,
@@ -104,6 +104,12 @@ class Dag:
         self._succs: Dict[TaskId, Tuple[TaskId, ...]] = {k: tuple(v) for k, v in succs.items()}
         self._edges: Tuple[Tuple[TaskId, TaskId], ...] = tuple(sorted(edge_set, key=repr))
         self._order: Tuple[TaskId, ...] = self._toposort()
+        # lazy memos (the graph is immutable, so they never go stale):
+        # bottom levels and the topo-order index are recomputed per mapper
+        # run otherwise, and trace workloads re-admit the same Dag objects
+        # thousands of times
+        self._bl: Optional[Dict[TaskId, float]] = None
+        self._topo_index: Optional[Dict[TaskId, int]] = None
 
     # -- basic accessors ---------------------------------------------------
 
@@ -156,6 +162,38 @@ class Dag:
     def topological_order(self) -> Tuple[TaskId, ...]:
         """A fixed topological order (Kahn, ties broken by insertion order)."""
         return self._order
+
+    def topo_index(self) -> Dict[TaskId, int]:
+        """Memoised ``task -> position in topological_order()`` map.
+
+        Shared and read-only by convention — list-scheduling tie-breaks
+        look positions up, they never write.
+        """
+        idx = self._topo_index
+        if idx is None:
+            idx = {t: i for i, t in enumerate(self._order)}
+            self._topo_index = idx
+        return idx
+
+    def bottom_levels(self) -> Dict[TaskId, float]:
+        """Memoised node-weighted longest path to a sink, inclusive (§12).
+
+        ``bl(t) = c(t) + max(bl(s) for s in Γ⁺(t))``. The graph is
+        immutable, so the map is computed once; callers treat it as
+        read-only (:func:`repro.graphs.analysis.bottom_levels` is the
+        public face).
+        """
+        bl = self._bl
+        if bl is None:
+            bl = {}
+            tasks = self._tasks
+            succs = self._succs
+            for t in reversed(self._order):
+                succ = succs[t]
+                best = max((bl[s] for s in succ), default=0.0)
+                bl[t] = tasks[t].complexity + best
+            self._bl = bl
+        return bl
 
     def total_complexity(self) -> float:
         """Sum of all task complexities (sequential work of the job)."""

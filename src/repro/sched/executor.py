@@ -224,6 +224,20 @@ class PlanExecutor:
         if not self._unfinished:
             return
         now = self.sim.now
+        if len(self._unfinished) == 1:
+            # Single-task fast path (the common state on lightly loaded
+            # sites): no candidate list, no tiebreak lookups, no sort.
+            # Identical decisions — with one candidate, slot order and
+            # "earliest ready fallback" collapse to the same check.
+            (k, rec), = self._unfinished.items()
+            start = rec.chunks[len(rec.actual)].start
+            if start <= now + EPS:
+                if self._gate_open(k):
+                    self._start(k)
+                return
+            self._timer_version += 1
+            self.sim.schedule_call_at(start, self._on_timer, self._timer_version)
+            return
         cands = self._candidates()
         # Prefer slot order; fall back to earliest ready whose start passed.
         runnable: Optional[Key] = None

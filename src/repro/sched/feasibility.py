@@ -25,6 +25,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.graphs.dag import Dag
 from repro.sched.intervals import BusyTimeline, Reservation
+from repro.sched.soa import fit_and_hold
 from repro.types import JobId, TaskId, Time
 
 
@@ -73,6 +74,7 @@ def try_schedule_dag_locally(
     release: Time,
     deadline: Time,
     not_before: Time,
+    speed: float = 1.0,
 ) -> Optional[List[Reservation]]:
     """The §5 local test. Returns reservations or ``None`` if infeasible.
 
@@ -80,24 +82,30 @@ def try_schedule_dag_locally(
     earlier than ``max(release, not_before, finish of its predecessors)``
     at the earliest gap of the (scratch) timeline, and the whole job must
     finish by ``deadline``. The input ``timeline`` is not modified.
+    ``speed`` scales durations to ``c/speed`` (§13 uniform machines)
+    without materializing a rescaled DAG.
     """
-    scratch = timeline.copy()
+    scale = abs(speed - 1.0) > 1e-12
+    starts, ends = timeline.scratch_arrays()
     finish: Dict[TaskId, Time] = {}
-    out: List[Reservation] = []
+    placed: List[Tuple[Time, Time, TaskId, Time]] = []
     floor = max(release, not_before)
     for tid in dag.topological_order():
         ready = floor
         for p in dag.predecessors(tid):
             ready = max(ready, finish[p])
         c = dag.complexity(tid)
-        start = scratch.earliest_fit(c, ready, deadline)
+        if scale:
+            c = c / speed
+        start = fit_and_hold(starts, ends, c, ready, deadline)
         if start is None:
             return None
-        res = Reservation(start, start + c, job, tid, release=ready, deadline=deadline)
-        scratch.reserve(res)
         finish[tid] = start + c
-        out.append(res)
-    return out
+        placed.append((start, c, tid, ready))
+    return [
+        Reservation(s, s + c, job, tid, release=ready, deadline=deadline)
+        for (s, c, tid, ready) in placed
+    ]
 
 
 def edf_order(tasks: Sequence[WindowTask]) -> List[WindowTask]:
@@ -134,19 +142,20 @@ def try_schedule_window_tasks(
         ordering = _ORDERS[order]
     except KeyError:
         raise ValueError(f"unknown insertion order {order!r}; known: {sorted(_ORDERS)}") from None
-    scratch = timeline.copy()
-    out: List[Reservation] = []
+    starts, ends = timeline.scratch_arrays()
+    placed: List[Tuple[Time, WindowTask]] = []
     for t in ordering(tasks):
         lo = max(t.release, not_before)
-        start = scratch.earliest_fit(t.duration, lo, t.deadline)
+        start = fit_and_hold(starts, ends, t.duration, lo, t.deadline)
         if start is None:
             return None
-        res = Reservation(
-            start, start + t.duration, t.job, t.task, release=t.release, deadline=t.deadline
+        placed.append((start, t))
+    return [
+        Reservation(
+            s, s + t.duration, t.job, t.task, release=t.release, deadline=t.deadline
         )
-        scratch.reserve(res)
-        out.append(res)
-    return out
+        for (s, t) in placed
+    ]
 
 
 def slack_profile(

@@ -54,12 +54,20 @@ class Reservation:
 
 
 class BusyTimeline:
-    """Sorted, non-overlapping busy intervals on one processor."""
+    """Sorted, non-overlapping busy intervals on one processor.
 
-    __slots__ = ("_starts", "_items")
+    Structure-of-arrays layout: ``_starts`` and ``_ends`` are parallel
+    primitive-float lists mirroring ``_items``. Feasibility probing
+    (:mod:`repro.sched.soa`) walks the float arrays directly — no
+    ``Reservation`` attribute access, no timeline copies — and the arrays
+    double as the timeline's state signature for the admission cache.
+    """
+
+    __slots__ = ("_starts", "_ends", "_items")
 
     def __init__(self) -> None:
         self._starts: List[Time] = []
+        self._ends: List[Time] = []
         self._items: List[Reservation] = []
 
     # -- queries -------------------------------------------------------------
@@ -78,12 +86,13 @@ class BusyTimeline:
         """True iff [start, end) overlaps no reservation."""
         if end <= start + EPS:
             raise SchedulingError(f"empty window [{start}, {end})")
-        items = self._items
-        i = bisect_right(self._starts, start + EPS)
+        starts = self._starts
+        ends = self._ends
+        i = bisect_right(starts, start + EPS)
         # predecessor may cover start; successor may begin before end
-        if i > 0 and items[i - 1].end > start + EPS:
+        if i > 0 and ends[i - 1] > start + EPS:
             return False
-        if i < len(items) and items[i].start < end - EPS:
+        if i < len(starts) and starts[i] < end - EPS:
             return False
         return True
 
@@ -97,19 +106,20 @@ class BusyTimeline:
             raise SchedulingError(f"duration must be > 0, got {duration}")
         if release + duration > deadline + EPS:
             return None
-        items = self._items
-        n = len(items)
+        starts = self._starts
+        ends = self._ends
+        n = len(starts)
         s = release
-        i = bisect_right(self._starts, s + EPS)
-        if i > 0 and items[i - 1].end > s + EPS:
+        i = bisect_right(starts, s + EPS)
+        if i > 0 and ends[i - 1] > s + EPS:
             # release falls inside a busy interval: earliest candidate is its end
-            s = items[i - 1].end
+            s = ends[i - 1]
         while True:
             if s + duration > deadline + EPS:
                 return None
-            if i < n and items[i].start < s + duration - EPS:
+            if i < n and starts[i] < s + duration - EPS:
                 # gap before next reservation too small; jump past it
-                s = items[i].end
+                s = ends[i]
                 i += 1
                 continue
             return s
@@ -119,31 +129,90 @@ class BusyTimeline:
         if end <= start + EPS:
             return []
         out: List[Tuple[Time, Time]] = []
-        items = self._items
-        n = len(items)
+        starts = self._starts
+        ends = self._ends
+        n = len(starts)
         cur = start
-        i = bisect_right(self._starts, start + EPS)
-        if i > 0 and items[i - 1].end > start + EPS:
-            cur = min(items[i - 1].end, end)
+        i = bisect_right(starts, start + EPS)
+        if i > 0 and ends[i - 1] > start + EPS:
+            cur = min(ends[i - 1], end)
         while cur < end - EPS:
-            if i >= n or items[i].start >= end - EPS:
+            if i >= n or starts[i] >= end - EPS:
                 out.append((cur, end))
                 break
-            nxt = items[i]
-            if nxt.start > cur + EPS:
-                out.append((cur, min(nxt.start, end)))
-            cur = max(cur, min(nxt.end, end))
+            ns = starts[i]
+            if ns > cur + EPS:
+                out.append((cur, min(ns, end)))
+            cur = max(cur, min(ends[i], end))
             i += 1
         return out
 
     def idle_time(self, start: Time, end: Time) -> Time:
-        """Total free time inside [start, end)."""
-        return sum(e - s for s, e in self.idle_windows(start, end))
+        """Total free time inside [start, end).
+
+        Same walk as :meth:`idle_windows` with the interval list fused
+        away — this runs on every enrollment answer (surplus), so the
+        intermediate tuples are pure overhead there.
+        """
+        starts = self._starts
+        ends = self._ends
+        n = len(starts)
+        total = 0.0
+        cur = start
+        i = bisect_right(starts, start + EPS)
+        if i > 0 and ends[i - 1] > start + EPS:
+            cur = min(ends[i - 1], end)
+        while cur < end - EPS:
+            if i >= n or starts[i] >= end - EPS:
+                total += end - cur
+                break
+            ns = starts[i]
+            if ns > cur + EPS:
+                total += min(ns, end) - cur
+            cur = max(cur, min(ends[i], end))
+            i += 1
+        return total
 
     def busy_time(self, start: Time, end: Time) -> Time:
         if end <= start + EPS:
             return 0.0
         return (end - start) - self.idle_time(start, end)
+
+    def scratch_arrays(self) -> Tuple[List[Time], List[Time]]:
+        """Mutable (starts, ends) copies for what-if probing.
+
+        Feasibility tests probe and tentatively insert on these plain float
+        lists (:mod:`repro.sched.soa`) instead of copying the whole
+        timeline; ``Reservation`` objects are built only for accepted
+        placements.
+        """
+        return (list(self._starts), list(self._ends))
+
+    def signature(self) -> Tuple[Tuple[Time, ...], Tuple[Time, ...]]:
+        """Hashable (starts, ends) snapshot — the admission-cache state digest.
+
+        Two timelines with equal signatures admit exactly the same windows:
+        feasibility probing reads nothing but these two arrays.
+        """
+        return (tuple(self._starts), tuple(self._ends))
+
+    def tail_signature(
+        self, cutoff: Time
+    ) -> Tuple[Tuple[Time, ...], Tuple[Time, ...]]:
+        """Signature of the intervals still visible past ``cutoff``.
+
+        An interval with ``end <= cutoff + EPS`` cannot influence any
+        probe whose release is at or after ``cutoff`` (the predecessor
+        check ignores it, and probing only moves forward), so two
+        timelines with equal *tail* signatures answer all such probes
+        identically — whatever already-finished history they carry.
+        """
+        k = bisect_right(self._ends, cutoff + EPS)
+        return (tuple(self._starts[k:]), tuple(self._ends[k:]))
+
+    def tail_len(self, cutoff: Time) -> int:
+        """Number of intervals still visible past ``cutoff``."""
+        return len(self._ends) - bisect_right(self._ends, cutoff + EPS)
 
     def at(self, time: Time) -> Optional[Reservation]:
         """The reservation covering ``time``, if any."""
@@ -172,10 +241,10 @@ class BusyTimeline:
         if end <= start + EPS:
             raise SchedulingError(f"empty window [{start}, {end})")
         starts = self._starts
-        items = self._items
+        ends = self._ends
         i = bisect_right(starts, start + EPS)
-        if (i > 0 and items[i - 1].end > start + EPS) or (
-            i < len(items) and items[i].start < end - EPS
+        if (i > 0 and ends[i - 1] > start + EPS) or (
+            i < len(starts) and starts[i] < end - EPS
         ):
             clash = self.at(start) or self.at(end - 2 * EPS)
             raise SchedulingError(
@@ -185,7 +254,8 @@ class BusyTimeline:
                 else f"reservation [{start}, {end}) overlaps existing work"
             )
         starts.insert(i, start)
-        items.insert(i, res)
+        ends.insert(i, end)
+        self._items.insert(i, res)
 
     def remove_exact(self, res: Reservation) -> None:
         """Remove exactly ``res`` (identity); raises if it is not present.
@@ -198,6 +268,7 @@ class BusyTimeline:
         if i < len(self._items) and self._items[i] is res:
             del self._items[i]
             del self._starts[i]
+            del self._ends[i]
             return
         raise SchedulingError(
             f"reservation {res.job}/{res.task!r} [{res.start}, {res.end}) not present"
@@ -211,6 +282,7 @@ class BusyTimeline:
             if r.job == job and (task is None or r.task == task):
                 del self._items[i]
                 del self._starts[i]
+                del self._ends[i]
                 removed += 1
         return removed
 
@@ -222,12 +294,14 @@ class BusyTimeline:
         if i:
             del self._items[:i]
             del self._starts[:i]
+            del self._ends[:i]
         return i
 
     def copy(self) -> "BusyTimeline":
         """Shallow copy (reservations are frozen, safe to share)."""
         other = BusyTimeline()
         other._starts = list(self._starts)
+        other._ends = list(self._ends)
         other._items = list(self._items)
         return other
 
@@ -243,3 +317,5 @@ class BusyTimeline:
                 )
             if self._starts[i] != b.start or self._starts[i - 1] != a.start:
                 raise SchedulingError("start index out of sync")
+            if self._ends[i] != b.end or self._ends[i - 1] != a.end:
+                raise SchedulingError("end index out of sync")

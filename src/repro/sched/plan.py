@@ -64,6 +64,9 @@ class SchedulingPlan:
             self._obs_surplus = obs.timer("plan.surplus")
         #: job -> list of its reservations (insertion order)
         self._jobs: Dict[JobId, List[Reservation]] = {}
+        #: bumped on every state change (commit / cancel / prune) — lets
+        #: observers detect "plan changed" without diffing the timeline
+        self.version = 0
 
     # -- surplus (paper §2) ----------------------------------------------------
 
@@ -105,6 +108,8 @@ class SchedulingPlan:
             raise
         for r in reservations:
             self._jobs.setdefault(r.job, []).append(r)
+        if reservations:
+            self.version += 1
         if self._obs_on:
             self._obs.inc("plan.commits")
             self._obs.observe("plan.commit_batch", float(len(reservations)))
@@ -112,12 +117,16 @@ class SchedulingPlan:
     def cancel_job(self, job: JobId) -> int:
         """Remove all reservations of ``job``; returns how many."""
         self._jobs.pop(job, None)
-        return self.timeline.release_key(job)
+        n = self.timeline.release_key(job)
+        if n:
+            self.version += 1
+        return n
 
     def prune_before(self, time: Time) -> int:
         """Forget finished history before ``time`` (memory hygiene)."""
         n = self.timeline.prune_before(time)
         if n:
+            self.version += 1
             for job in list(self._jobs):
                 kept = [r for r in self._jobs[job] if r.end > time + EPS]
                 if kept:
@@ -157,6 +166,38 @@ class SchedulingPlan:
         if end <= start + EPS:
             return 0.0
         return self.timeline.busy_time(start, end) * self.speed
+
+    #: visible tails at or below this many reservations digest by value
+    #: (cross-site sharing); longer ones digest by (site, version) — O(1)
+    #: instead of O(n), and such busy sites virtually never collide anyway
+    DIGEST_VALUE_MAX = 16
+
+    def state_digest(self, horizon: Optional[Time] = None) -> tuple:
+        """Hashable digest of the plan state feasibility probing sees.
+
+        With a ``horizon`` (the earliest release of the windows about to
+        be probed) only the *visible tail* — reservations ending after
+        the horizon — enters the digest: finished history cannot affect
+        forward probes, so two plans with equal tails answer every
+        admission query at or past the horizon identically, *whatever*
+        site they belong to. This is the basis of the admission cache's
+        cross-site sharing: every site that is free during the job's
+        windows digests to ``((), ())``, however different their pasts.
+
+        Long tails fall back to the site-private ``(site, version)``
+        pair, trading unlikely sharing for a constant-time digest. Any
+        commit/cancel/prune changes both forms, so a cached decision can
+        never outlive the state it was computed against; the two forms
+        cannot collide (tuple-of-tuples vs (id, int)).
+        """
+        tl = self.timeline
+        if horizon is None:
+            if len(tl) <= self.DIGEST_VALUE_MAX:
+                return tl.signature()
+            return (self.site, self.version)
+        if tl.tail_len(horizon) <= self.DIGEST_VALUE_MAX:
+            return tl.tail_signature(horizon)
+        return (self.site, self.version)
 
     def scratch_timeline(self) -> BusyTimeline:
         """A private copy for what-if feasibility tests."""

@@ -1,0 +1,70 @@
+"""Structure-of-arrays feasibility probing.
+
+The admission hot path (local test, trial-mapping probes, validation
+endorsements) spends its time asking one question thousands of times per
+second: *where is the earliest gap of duration ``c`` inside ``[r, d]`` on
+this timeline, given the placements already tentatively made?* The
+object-based route — copy the :class:`~repro.sched.intervals.BusyTimeline`,
+build a ``Reservation`` per probe, re-run the overlap check on insert —
+pays for attribute access and object construction on every step.
+
+This module is the flat core those tests now share: probing and tentative
+insertion operate directly on parallel ``starts``/``ends`` float lists
+(obtained via ``BusyTimeline.scratch_arrays()``), and ``Reservation``
+objects are built only for placements that survive the whole test.
+
+Bit-for-bit contract: :func:`fit_and_hold` performs *exactly* the
+arithmetic of ``BusyTimeline.earliest_fit`` followed by
+``BusyTimeline.reserve`` — same EPS comparisons, same bisect insertion
+point — so every placement it returns is byte-identical to what the
+object path produced. The identity goldens gate this.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from typing import List, Optional
+
+from repro.errors import SchedulingError
+from repro.types import EPS, Time
+
+
+def fit_and_hold(
+    starts: List[Time],
+    ends: List[Time],
+    duration: Time,
+    release: Time,
+    deadline: Time,
+) -> Optional[Time]:
+    """Earliest fit of ``duration`` in ``[release, deadline]`` — and take it.
+
+    On success the slot ``[s, s+duration)`` is inserted into the parallel
+    arrays (keeping them sorted) and ``s`` is returned; on failure the
+    arrays are untouched and ``None`` is returned. The arrays are the
+    caller's scratch state, so "insert" here is a tentative hold, not a
+    commitment.
+    """
+    if duration <= EPS:
+        raise SchedulingError(f"duration must be > 0, got {duration}")
+    if release + duration > deadline + EPS:
+        return None
+    n = len(starts)
+    s = release
+    i = bisect_right(starts, s + EPS)
+    if i > 0 and ends[i - 1] > s + EPS:
+        s = ends[i - 1]
+    while True:
+        if s + duration > deadline + EPS:
+            return None
+        if i < n and starts[i] < s + duration - EPS:
+            s = ends[i]
+            i += 1
+            continue
+        break
+    # Same insertion point as BusyTimeline.reserve: the slot is free, so
+    # no existing start lies in (s, s+EPS] and the EPS-shifted bisect
+    # equals the exact one.
+    j = bisect_right(starts, s + EPS)
+    starts.insert(j, s)
+    ends.insert(j, s + duration)
+    return s

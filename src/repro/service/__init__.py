@@ -17,7 +17,7 @@ feeds it an open-loop stream instead:
 Identity contract: a stream of jobs pushed through the service produces
 the **identical** schedule (and ``scalar_metrics``) as the same jobs
 replayed as a batch through
-:func:`~repro.experiments.runner.run_experiment_with_workload` — both
+:func:`~repro.experiments.runner.run_experiment` (``workload=``) — both
 paths submit through ``ResidentNetwork.submit_spec``, and submissions
 outrank message deliveries in the event heap, so incremental scheduling
 cannot reorder them. The differential test layer pins this.

@@ -224,15 +224,33 @@ class Simulator:
                     raise SimulationError(
                         f"event time {time} precedes clock {self._now} (heap corruption)"
                     )
-                self._live -= 1
-                ev.cancelled = True  # consumed: a late cancel() must no-op
                 self._now = time
-                arg = ev.arg
-                if arg is no_arg:
-                    ev.callback()
-                else:
-                    ev.callback(arg)
-                processed += 1
+                # Same-tick batch: every further event at this timestamp
+                # shares the limit/clock checks done once above (message
+                # deliveries cluster heavily on identical arrival times).
+                # Pop order is untouched — (time, priority, seq) is total.
+                while True:
+                    self._live -= 1
+                    ev.cancelled = True  # consumed: a late cancel() must no-op
+                    arg = ev.arg
+                    if arg is no_arg:
+                        ev.callback()
+                    else:
+                        ev.callback(arg)
+                    processed += 1
+                    if processed >= budget or self._stopped:
+                        break
+                    nxt = None
+                    while heap and heap[0][0] == time:
+                        cand = pop(heap)[3]
+                        if cand.cancelled:
+                            self._dead -= 1
+                            continue
+                        nxt = cand
+                        break
+                    if nxt is None:
+                        break
+                    ev = nxt
                 if processed >= budget:
                     break
             else:

@@ -421,6 +421,7 @@ def build_network(
     tracer: Optional[Tracer] = None,
     throughput: Optional[float] = None,
     obs=None,
+    admission_cache=None,
 ) -> Network:
     """Instantiate a live network from a topology description.
 
@@ -438,6 +439,10 @@ def build_network(
     correct from construction.
     """
     net = Network(sim, tracer, obs=obs)
+    if admission_cache is not None:
+        # installed before any site is built: RTDS sites bind the shared
+        # network-level cache (repro.core.admission_cache) at construction
+        net.admission_cache = admission_cache
     for sid in range(topo.n):
         site_factory(sid, net)
     for u, v, d in topo.edges:

@@ -91,6 +91,30 @@ def split_targets_by_hop(
     return groups
 
 
+def broadcast_plan(
+    site: SiteBase, targets: List[SiteId]
+) -> List[Tuple[SiteId, List[SiteId]]]:
+    """The memoized hop-split: ``[(next hop, sorted target group), ...]``.
+
+    A site broadcasts to the *same* target sets over and over (its ACS for
+    every admission, the fixed relay splits below it in the tree), and the
+    split is a pure function of the routing table — so it is computed once
+    per distinct target tuple and cached on the site. Membership repairs
+    rewrite next-hop rows in place, so they must call
+    :meth:`~repro.simnet.site.SiteBase.drop_route_caches` on affected
+    sites; the group lists are shared read-only (receivers copy).
+    """
+    key = tuple(targets)
+    plan = site.bcast_plans.get(key)
+    if plan is None:
+        plan = [
+            (hop, sorted(group))
+            for hop, group in sorted(split_targets_by_hop(site, targets).items())
+        ]
+        site.bcast_plans[key] = plan
+    return plan
+
+
 def sphere_broadcast(
     site: SiteBase,
     targets: List[SiteId],
@@ -105,12 +129,12 @@ def sphere_broadcast(
     ``MSG_SPHERE``.
     """
     sent = 0
-    for hop, group in sorted(split_targets_by_hop(site, targets).items()):
+    for hop, group in broadcast_plan(site, targets):
         site.send_neighbor(
             hop,
             MSG_SPHERE,
             payload={
-                "targets": sorted(group),
+                "targets": group,
                 "inner_mtype": inner_mtype,
                 "inner_payload": inner_payload,
                 "origin": site.sid,
@@ -129,7 +153,7 @@ def handle_sphere_message(site: SiteBase, msg) -> Optional[Dict[str, Any]]:
     origin)`` dict for local dispatch; otherwise returns ``None``.
     """
     payload = msg.payload
-    targets: List[SiteId] = list(payload["targets"])
+    targets: List[SiteId] = payload["targets"]
     inner_mtype = payload["inner_mtype"]
     inner_payload = payload["inner_payload"]
     origin = payload["origin"]
@@ -142,12 +166,12 @@ def handle_sphere_message(site: SiteBase, msg) -> Optional[Dict[str, Any]]:
     deliver_here = site.sid in targets
     rest = [t for t in targets if t != site.sid]
     if rest:
-        for hop, group in sorted(split_targets_by_hop(site, rest).items()):
+        for hop, group in broadcast_plan(site, rest):
             site.send_neighbor(
                 hop,
                 MSG_SPHERE,
                 payload={
-                    "targets": sorted(group),
+                    "targets": group,
                     "inner_mtype": inner_mtype,
                     "inner_payload": inner_payload,
                     "origin": origin,

@@ -14,7 +14,6 @@ import pytest
 from repro.experiments.runner import (
     ExperimentConfig,
     run_experiment,
-    run_experiment_with_workload,
 )
 from repro.metrics.summary import scalars_equal
 from repro.service import AdmissionService, ResidentSimulation
@@ -60,7 +59,7 @@ def test_service_equals_batch(arrival, seed):
     cfg = _config(seed)
     workload = _stream(seed, arrival)
     assert len(workload) > 10, "stream too thin to exercise the protocol"
-    batch = run_experiment_with_workload(cfg, workload).scalar_metrics()
+    batch = run_experiment(cfg, workload=workload).scalar_metrics()
     res, svc = _service_metrics(cfg, workload)
     assert scalars_equal(batch, res.scalar_metrics())
     assert svc.stats.decided == len(workload)
@@ -71,7 +70,7 @@ def test_service_identity_survives_tiny_queue():
     """Backpressure (queue of 2) must not change the simulation at all."""
     cfg = _config(1)
     workload = _stream(1)
-    batch = run_experiment_with_workload(cfg, workload).scalar_metrics()
+    batch = run_experiment(cfg, workload=workload).scalar_metrics()
     res, svc = _service_metrics(cfg, workload, queue_capacity=2)
     assert scalars_equal(batch, res.scalar_metrics())
     assert svc.stats.max_queue_depth <= 2
@@ -79,11 +78,11 @@ def test_service_identity_survives_tiny_queue():
 
 def test_replay_of_batch_workload_is_identical():
     """run_experiment's own workload, replayed through
-    run_experiment_with_workload, reproduces the run exactly — pins the
+    run_experiment(workload=...), reproduces the run exactly — pins the
     build_resident/_execute_workload refactor against the monolith."""
     cfg = _config(2)
     first = run_experiment(cfg)
-    replay = run_experiment_with_workload(cfg, first.workload)
+    replay = run_experiment(cfg, workload=first.workload)
     assert scalars_equal(first.scalar_metrics(), replay.scalar_metrics())
     assert first.setup_messages == replay.setup_messages
     assert first.setup_time == replay.setup_time

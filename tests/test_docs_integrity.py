@@ -107,6 +107,28 @@ class TestDesignMd:
             assert concept.lower() in lower, f"DESIGN.md must document {concept!r}"
         assert "BENCH_e13.json" in text
 
+    def test_admission_cache_section(self):
+        """DESIGN.md §15 must document the batched core & plan cache."""
+        text = read("DESIGN.md")
+        assert "Batched admission core & plan cache" in text
+        assert "`repro.core.admission_cache`" in text
+        assert "`repro.sched.soa`" in text
+        assert "`repro.api`" in text
+        lower = text.lower()
+        for concept in (
+            "bit for bit",
+            "state_digest",
+            "tail signature",
+            "digest_value_max",
+            "config_fingerprint",
+            "tests/cache",
+            "admission_cache=false",
+            "run_experiment_with_workload",
+            "site_speeds",
+        ):
+            assert concept.lower() in lower, f"DESIGN.md must document {concept!r}"
+        assert "bench_e9_hotpath.py" in text and "BENCH_e9.json" in text
+
     def test_parallel_runtime_section(self):
         """The campaign runtime must stay documented where it is built."""
         text = read("DESIGN.md")
@@ -181,6 +203,15 @@ class TestExperimentsMd:
         assert "trace:montage" in text and "trace:epigenomics" in text
 
 
+    def test_e9_entry_names_cache_gate(self):
+        """E9 must document the cache scenario and its hit-rate floor."""
+        text = read("EXPERIMENTS.md")
+        assert "bench_e9_hotpath.py" in text
+        assert "BENCH_e9.json" in text
+        assert "hit-rate floor" in text
+        assert "trace:montage" in text
+        assert "tests/cache" in text
+
     def test_e12_entry_names_gate_and_cli(self):
         """E12 must document its soak gate, the CLI and the test lockdown."""
         text = read("EXPERIMENTS.md")
@@ -238,3 +269,25 @@ class TestReadme:
         assert "rtds campaign" in text
         for flag in ("--jobs", "--store", "--resume"):
             assert flag in text, f"README quickstart must show {flag}"
+
+    def test_quickstart_uses_the_api_facade(self):
+        """README's Python quickstart must go through repro.api and the
+        facade must actually export what the quickstart imports."""
+        text = read("README.md")
+        assert "from repro.api import" in text
+        import sys
+
+        sys.path.insert(0, str(ROOT / "src"))
+        try:
+            from repro import api
+        finally:
+            sys.path.pop(0)
+        for name in ("run", "campaign", "soak", "chaos", "trace",
+                     "ExperimentConfig"):
+            assert hasattr(api, name), f"repro.api must export {name!r}"
+
+    def test_deprecations_are_documented(self):
+        text = read("README.md")
+        assert "run_experiment_with_workload" in text
+        assert "site_speeds" in text
+        assert "DeprecationWarning" in text
