@@ -67,6 +67,12 @@ def run(config: ExperimentConfig, workload: Optional[Workload] = None) -> RunRes
         An explicit :class:`~repro.workloads.jobs.Workload` replays that
         job list instead — e.g. a captured open-loop stream — making the
         config's ``rho``/``duration``/``dag_size`` knobs irrelevant.
+
+    ``config.engine_mode="sharded"`` (with ``shards=N``) dispatches the
+    run to the E14 multi-process PDES engine (:mod:`repro.simnet.sharded`,
+    DESIGN.md §16) — same ``scalar_metrics`` bit for bit on
+    partition-friendly cells; requires ``routing_mode="oracle"`` and
+    ``workload=None``.
     """
     return run_experiment(config, workload=workload)
 

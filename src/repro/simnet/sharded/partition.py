@@ -1,0 +1,177 @@
+"""Deterministic topology partitioning for the sharded PDES engine.
+
+The partition is a pure function of ``(topology, n_shards)`` — no RNG, no
+wall clock — so every worker process (and every re-run) derives the same
+:class:`ShardPlan` independently. Two stages:
+
+1. **Recursive bisection by delay distance.** Within a node set, Dijkstra
+   from a pseudo-peripheral node (the farthest node from the lowest id)
+   orders the set by ``(distance, id)``; a proportional prefix/suffix
+   split recurses until one part per shard remains. On random-geometric
+   graphs delay correlates with Euclidean distance, so this is a spatial
+   bisection; on any graph it yields connected-ish, balanced parts.
+2. **One greedy refinement sweep.** Each node (ascending id) moves to the
+   neighboring shard holding strictly more of its neighbors when the move
+   respects a ±25% balance corridor — the cheap min-cut pass that helps
+   hub-heavy Barabási–Albert graphs where geometry means little.
+
+The plan's **lookahead** is the minimum delay over cut (inter-shard)
+edges: a message crossing shards sent at time ``t`` cannot arrive before
+``t + lookahead``, which is exactly the conservative synchronization
+window the coordinator exploits (DESIGN.md §16).
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.errors import ConfigError
+from repro.simnet.topology import Topology
+
+Adjacency = Dict[int, List[Tuple[int, float]]]
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """Where every site lives and what the cut looks like."""
+
+    #: total number of sites (== ``topology.n``)
+    n: int
+    n_shards: int
+    #: site id -> shard id
+    assignment: Tuple[int, ...]
+    #: shard id -> sorted tuple of owned site ids (every part non-empty)
+    parts: Tuple[Tuple[int, ...], ...]
+    #: normalized ``(u, v, delay)`` with ``u < v`` spanning two shards
+    cut_edges: Tuple[Tuple[int, int, float], ...]
+    #: min cut-edge delay — the conservative lookahead (``inf`` when the
+    #: shards are disconnected from each other: one window to the horizon)
+    lookahead: float
+
+    def shard_of(self, sid: int) -> int:
+        """The shard owning ``sid``."""
+        return self.assignment[sid]
+
+
+def _adjacency(topo: Topology) -> Adjacency:
+    adj: Adjacency = {v: [] for v in range(topo.n)}
+    for u, v, d in topo.edges:
+        adj[u].append((v, d))
+        adj[v].append((u, d))
+    return adj
+
+
+def _dijkstra(adj: Adjacency, nodes: frozenset, source: int) -> Dict[int, float]:
+    """Delay distances from ``source`` within the induced subgraph."""
+    dist = {source: 0.0}
+    heap: List[Tuple[float, int]] = [(0.0, source)]
+    done = set()
+    while heap:
+        d, u = heapq.heappop(heap)
+        if u in done:
+            continue
+        done.add(u)
+        for v, w in adj[u]:
+            if v not in nodes:
+                continue
+            nd = d + w
+            if v not in dist or nd < dist[v]:
+                dist[v] = nd
+                heapq.heappush(heap, (nd, v))
+    return dist
+
+
+def _bisect(nodes: List[int], k: int, adj: Adjacency) -> List[List[int]]:
+    """Recursively split sorted ``nodes`` into ``k`` balanced parts."""
+    if k == 1:
+        return [nodes]
+    k1 = k // 2
+    node_set = frozenset(nodes)
+    d0 = _dijkstra(adj, node_set, nodes[0])
+    # pseudo-peripheral seed: farthest reachable from the lowest id
+    far = max(((d, -v) for v, d in d0.items()))[1] * -1
+    d1 = _dijkstra(adj, node_set, far)
+    inf = math.inf
+    order = sorted(nodes, key=lambda v: (d1.get(v, inf), v))
+    cut_at = (len(nodes) * k1) // k
+    left = sorted(order[:cut_at])
+    right = sorted(order[cut_at:])
+    return _bisect(left, k1, adj) + _bisect(right, k - k1, adj)
+
+
+def _refine(assignment: List[int], n_shards: int, adj: Adjacency) -> None:
+    """One deterministic greedy sweep moving nodes toward their neighbors.
+
+    A node moves to the adjacent shard holding strictly more of its
+    neighbors than its home shard does, provided the move keeps both
+    shards inside a ±25% balance corridor around ``n / n_shards``.
+    """
+    n = len(assignment)
+    sizes = [0] * n_shards
+    for s in assignment:
+        sizes[s] += 1
+    target = n / n_shards
+    lo = max(1, int(math.floor(0.75 * target)))
+    hi = int(math.ceil(1.25 * target))
+    for v in range(n):
+        home = assignment[v]
+        counts: Dict[int, int] = {}
+        for u, _d in adj[v]:
+            s = assignment[u]
+            counts[s] = counts.get(s, 0) + 1
+        best, best_gain = home, 0
+        at_home = counts.get(home, 0)
+        for s in sorted(counts):
+            if s == home:
+                continue
+            gain = counts[s] - at_home
+            if gain > best_gain and sizes[s] < hi and sizes[home] > lo:
+                best, best_gain = s, gain
+        if best != home:
+            assignment[v] = best
+            sizes[home] -= 1
+            sizes[best] += 1
+
+
+def partition_topology(topo: Topology, n_shards: int) -> ShardPlan:
+    """Deterministically partition ``topo`` into ``n_shards`` parts.
+
+    Raises :class:`~repro.errors.ConfigError` when ``n_shards`` is below 2
+    or exceeds the site count.
+    """
+    if n_shards < 2:
+        raise ConfigError(f"sharded partition needs >= 2 shards, got {n_shards}")
+    if n_shards > topo.n:
+        raise ConfigError(
+            f"cannot cut {topo.n} sites into {n_shards} shards (more shards than sites)"
+        )
+    adj = _adjacency(topo)
+    parts = _bisect(list(range(topo.n)), n_shards, adj)
+    assignment = [0] * topo.n
+    for shard_id, part in enumerate(parts):
+        for v in part:
+            assignment[v] = shard_id
+    _refine(assignment, n_shards, adj)
+    grouped: List[List[int]] = [[] for _ in range(n_shards)]
+    for v, s in enumerate(assignment):
+        grouped[s].append(v)
+    for shard_id, part in enumerate(grouped):
+        if not part:
+            raise ConfigError(f"partition produced an empty shard {shard_id}")
+    cut = sorted(
+        (min(u, v), max(u, v), d)
+        for u, v, d in topo.edges
+        if assignment[u] != assignment[v]
+    )
+    lookahead = min((d for _u, _v, d in cut), default=math.inf)
+    return ShardPlan(
+        n=topo.n,
+        n_shards=n_shards,
+        assignment=tuple(assignment),
+        parts=tuple(tuple(p) for p in grouped),
+        cut_edges=tuple(cut),
+        lookahead=lookahead,
+    )

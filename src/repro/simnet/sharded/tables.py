@@ -1,0 +1,186 @@
+"""Per-shard oracle routing tables — bit-identical owned rows, closure cost.
+
+A shard only ever reads *its own sites'* rows of the phased Bellman–Ford
+tables, and under a phase budget ``P`` row ``i`` is a pure function of the
+subgraph induced by ``i``'s ``P``-hop neighborhood (the locality argument
+proven for :func:`repro.membership.repair.repair_after_join`). So each
+worker solves :func:`~repro.routing.vectorized.phased_tables` on the
+subgraph induced by the **closure** — every site within ``P`` hops of the
+shard's owned set — and keeps only the owned rows. The closure ids are
+relabeled monotonically (sorted ascending), which preserves the solver's
+``u < next_hop`` tie-break, so owned rows equal the full-network solve
+bit for bit while the memory cost drops from ``O(n^2)`` to
+``O(|owned| x |closure|)`` — the difference between an 800 MB dense
+matrix and a few-MB slab at 10k sites.
+
+:class:`ShardTables` duck-types the slice of the
+:class:`~repro.routing.vectorized.SharedTables` surface that
+:mod:`repro.routing.oracle`'s lazy views actually touch: scalar
+``[owner, dest]`` lookups, fancy ``[owner, ids]`` gathers and dense-row
+``[owner]`` materialization, with ``inf`` / ``NO_ROUTE`` fills for
+columns outside the closure (provably unreachable within the budget).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.errors import RoutingError
+from repro.routing.vectorized import NO_ROUTE, phased_tables
+from repro.simnet.topology import Topology
+
+
+class _ShardArray:
+    """Owned-rows x closure-columns slab posing as a dense ``(n, n)`` array.
+
+    Supports exactly the access patterns the oracle routing views use;
+    out-of-closure columns read as the fill value (``inf`` for distances,
+    ``NO_ROUTE`` for hops/next-hop/discovery phase).
+    """
+
+    __slots__ = ("_rows", "_row_of", "_col_of", "_cols", "_fill", "_n")
+
+    def __init__(
+        self,
+        rows: np.ndarray,
+        row_of: Dict[int, int],
+        col_of: np.ndarray,
+        cols: np.ndarray,
+        fill,
+        n: int,
+    ) -> None:
+        self._rows = rows
+        self._row_of = row_of
+        self._col_of = col_of
+        self._cols = cols
+        self._fill = fill
+        self._n = n
+
+    def __getitem__(self, key):
+        if isinstance(key, tuple):
+            i, j = key
+            row = self._rows[self._row_of[i]]
+            if isinstance(j, (int, np.integer)):
+                c = self._col_of[j]
+                if c >= 0:
+                    return row[c]
+                return self._rows.dtype.type(self._fill)
+            j = np.asarray(j)
+            c = self._col_of[j]
+            out = row[np.where(c >= 0, c, 0)]
+            if c.size and (c < 0).any():
+                out = np.where(c >= 0, out, self._fill).astype(self._rows.dtype)
+            return out
+        full = np.full(self._n, self._fill, dtype=self._rows.dtype)
+        full[self._cols] = self._rows[self._row_of[key]]
+        return full
+
+
+class ShardTables:
+    """Duck-typed ``SharedTables`` covering one shard's owned rows.
+
+    ``n`` and ``phases`` are network-global so
+    :class:`~repro.routing.oracle.OracleRouting`'s invariant checks hold
+    unchanged; array attributes are :class:`_ShardArray` slabs.
+    """
+
+    __slots__ = ("n", "phases", "dist", "next_hop", "hops", "disc", "closure", "owned")
+
+    def __init__(
+        self,
+        n: int,
+        phases: int,
+        dist: _ShardArray,
+        next_hop: _ShardArray,
+        hops: _ShardArray,
+        disc: _ShardArray,
+        closure: np.ndarray,
+        owned: np.ndarray,
+    ) -> None:
+        self.n = n
+        self.phases = phases
+        self.dist = dist
+        self.next_hop = next_hop
+        self.hops = hops
+        self.disc = disc
+        self.closure = closure
+        self.owned = owned
+
+    def known_count(self, sid: int) -> int:
+        """Destinations ``sid`` discovered within the phase budget."""
+        return int(np.count_nonzero(self.disc[sid] >= 0))
+
+
+def _closure_of(topo: Topology, owned: Sequence[int], radius: int) -> np.ndarray:
+    """Sorted ids within ``radius`` hops of the owned set (multi-source BFS)."""
+    adj: List[List[int]] = [[] for _ in range(topo.n)]
+    for u, v, _d in topo.edges:
+        adj[u].append(v)
+        adj[v].append(u)
+    seen = np.zeros(topo.n, dtype=bool)
+    frontier = list(owned)
+    seen[frontier] = True
+    for _ in range(radius):
+        nxt: List[int] = []
+        for v in frontier:
+            for u in adj[v]:
+                if not seen[u]:
+                    seen[u] = True
+                    nxt.append(u)
+        if not nxt:
+            break
+        frontier = nxt
+    return np.flatnonzero(seen)
+
+
+def shard_tables(topo: Topology, owned: Sequence[int], phases: int) -> ShardTables:
+    """Solve the owned rows of ``phased_tables(weight_matrix(topo), phases)``.
+
+    Builds the closure-induced weight matrix directly from the edge list
+    (never the dense ``(n, n)`` matrix), runs the vectorized solver on it
+    and wraps the owned rows in translating :class:`_ShardArray` slabs.
+    Closure ids stay ascending, so the relabeling is monotone and the
+    solver's tie-breaks — hence the rows — match the full solve exactly.
+    """
+    n = topo.n
+    owned_arr = np.asarray(sorted(owned), dtype=np.int64)
+    closure = _closure_of(topo, owned_arr, phases)
+    col_of = np.full(n, -1, dtype=np.int64)
+    col_of[closure] = np.arange(len(closure))
+    m = len(closure)
+    W = np.full((m, m), np.inf, dtype=np.float64)
+    for u, v, d in topo.edges:
+        if d <= 0:
+            # same guard weight_matrix() applies on the single-process path
+            raise RoutingError(
+                f"link ({u},{v}) has non-positive delay {d}; "
+                "hop-by-hop forwarding needs strictly positive delays"
+            )
+        cu, cv = col_of[u], col_of[v]
+        if cu >= 0 and cv >= 0:
+            W[cu, cv] = d
+            W[cv, cu] = d
+    sub = phased_tables(W, phases)
+    pos = np.searchsorted(closure, owned_arr)
+    row_of = {int(sid): i for i, sid in enumerate(owned_arr)}
+
+    nh_local = sub.next_hop[pos]
+    nh_global = np.where(
+        nh_local >= 0, closure[np.clip(nh_local, 0, None)], NO_ROUTE
+    ).astype(nh_local.dtype)
+
+    def slab(rows: np.ndarray, fill) -> _ShardArray:
+        return _ShardArray(np.ascontiguousarray(rows), row_of, col_of, closure, fill, n)
+
+    return ShardTables(
+        n=n,
+        phases=phases,
+        dist=slab(sub.dist[pos], np.inf),
+        next_hop=slab(nh_global, NO_ROUTE),
+        hops=slab(sub.hops[pos], NO_ROUTE),
+        disc=slab(sub.disc[pos], NO_ROUTE),
+        closure=closure,
+        owned=owned_arr,
+    )

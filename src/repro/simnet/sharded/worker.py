@@ -1,0 +1,340 @@
+"""One shard's process: engine, owned sites, boundary links, marshalling.
+
+Each worker owns a contiguous slice of the partition: it builds a full
+:class:`~repro.simnet.engine.Simulator` + :class:`ShardNetwork` holding
+only its owned sites, registers **boundary links** (links whose far
+endpoint lives on another shard) so adjacency and delay arithmetic stay
+bit-identical, and solves its own
+:class:`~repro.simnet.sharded.tables.ShardTables` for oracle routing.
+
+Cross-shard traffic is marshalled as compact tuples
+``(arrival, dst, mtype, src, origin, final_dst, payload, size, hops, uid)``
+— the sender runs the *entire* single-process ``Network.transmit`` hot
+path (stats accounting, FIFO clamp, arrival arithmetic) and ships the
+finished arrival time; the receiver merely schedules the rebuilt
+:class:`~repro.simnet.message.Message` at that time. Per-direction FIFO
+clamp state lives wholly on the sending shard, so the clamp behaves
+exactly as in one process.
+
+The command protocol with the coordinator is a conservative time-window
+loop (DESIGN.md §16): ``("window", W, inbox)`` → deliver inbox, run to
+``W`` inclusive, reply ``("ok", outbox, next_event_time)``;
+``("finish", horizon)`` → run to the horizon for clock parity and reply
+the shard's result blob (job records, orphan completions, message stats,
+engine counters, optional telemetry).
+"""
+
+from __future__ import annotations
+
+import gc
+import traceback
+from dataclasses import replace
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.errors import ConfigError
+from repro.metrics.collector import MetricsCollector
+from repro.simnet.engine import PRIORITY_DELIVERY, Simulator
+from repro.simnet.message import Message
+from repro.simnet.network import Network
+from repro.simnet.topology import Topology
+from repro.simnet.trace import Tracer
+
+#: the compact cross-shard wire tuple (see module docstring)
+WireMessage = Tuple[float, int, str, int, Optional[int], Optional[int], Any, float, int, int]
+
+
+class ShardCollector(MetricsCollector):
+    """Collector that stashes completions of jobs owned by other shards.
+
+    A task hosted here for a job admitted on another shard completes on
+    this engine; the base collector would silently drop it (no record).
+    Stash it instead — the coordinator applies orphans to the origin
+    shard's record at merge time, reproducing the single-collector view.
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        #: ``(job, task, time)`` completions with no local record
+        self.orphan_completions: List[Tuple[int, Any, float]] = []
+
+    def on_task_complete(self, job, task, time) -> None:
+        """Record locally when the job is ours, stash otherwise."""
+        if job in self.jobs:
+            super().on_task_complete(job, task, time)
+        else:
+            self.orphan_completions.append((job, task, time))
+
+
+class ShardNetwork(Network):
+    """A :class:`Network` whose remote deliveries land in an outbox.
+
+    Local deliveries take the inherited hot path unchanged. A transmit
+    to a non-resident destination runs the same accounting and arrival
+    arithmetic, then appends a wire tuple to :attr:`outbox` instead of
+    pushing a heap event.
+    """
+
+    def __init__(self, sim: Simulator, tracer=None, obs=None) -> None:
+        super().__init__(sim, tracer, obs)
+        self.outbox: List[WireMessage] = []
+
+    def add_boundary_link(self, u, v, delay, throughput=None):
+        """Register a link whose far endpoint lives on another shard.
+
+        Identical to :meth:`Network.add_link` minus the both-endpoints
+        -resident check: the link enters ``_adj`` (so ``neighbors()`` and
+        the transmit lookup see it) but the remote side has no receiver.
+        """
+        from repro.errors import TopologyError
+        from repro.simnet.link import Link
+
+        link = Link(u, v, delay, throughput)
+        if link.key in self._links:
+            raise TopologyError(f"duplicate link {link.key}")
+        self._links[link.key] = link
+        self._adj.setdefault(u, {})[v] = link
+        self._adj.setdefault(v, {})[u] = link
+        self._neighbors_cache.pop(u, None)
+        self._neighbors_cache.pop(v, None)
+        return link
+
+    def transmit(self, msg: Message) -> None:
+        """Single-process transmit locally; marshal across the cut."""
+        if msg.dst in self._receivers:
+            super().transmit(msg)
+            return
+        # remote destination: same arithmetic as Network.transmit, with
+        # the final heap push replaced by an outbox append
+        src = msg.src
+        dst = msg.dst
+        try:
+            link = self._adj[src][dst]
+        except KeyError:
+            from repro.errors import TopologyError
+
+            raise TopologyError(f"no link between {src} and {dst}") from None
+        msg.hops += 1
+        size = msg.size
+        mtype = msg.mtype
+        stats = self.stats
+        stats.count[mtype] += 1
+        stats.volume[mtype] += size
+        stats.total += 1
+        stats.total_volume += size
+        sim = self.sim
+        if self.obs_on and stats.total & 15 == 0:
+            self._obs_msg_size.observe(size)
+        tp = link.throughput
+        arrival = sim._now + (link.delay if tp is None else link.delay + size / tp)
+        last = link._last_delivery
+        prev = last.get(dst, 0.0)
+        if arrival < prev:
+            arrival = prev
+        last[dst] = arrival
+        self.outbox.append(
+            (arrival, dst, mtype, src, msg.origin, msg.final_dst,
+             msg.payload, size, msg.hops, msg.uid)
+        )
+
+    def deliver_wire(self, wire: WireMessage) -> None:
+        """Schedule one marshalled cross-shard delivery on this engine."""
+        arrival, dst, mtype, src, origin, final_dst, payload, size, hops, uid = wire
+        msg = Message(mtype, src, dst, origin, final_dst, payload, size, hops, uid)
+        self.sim.schedule_call_at(arrival, self._receivers[dst], msg, PRIORITY_DELIVERY)
+
+
+def _build_shard(config, topo: Topology, plan, shard_id: int):
+    """Construct one shard's live network (mirrors ``build_resident``)."""
+    from repro.simnet.sharded.tables import shard_tables
+
+    owned = plan.parts[shard_id]
+    owned_set = frozenset(owned)
+    sim = Simulator()
+    tracer = Tracer(enabled=False)
+    metrics = ShardCollector()
+    obs = None
+    if config.telemetry:
+        from repro.obs import Telemetry
+
+        obs = Telemetry(enabled=True, seed=config.seed)
+        sim.obs = obs
+    net = ShardNetwork(sim, tracer, obs=obs)
+
+    if config.algorithm == "rtds":
+        phase_budget = config.rtds.pcs_phases
+    elif config.algorithm == "local":
+        phase_budget = 1
+    else:  # pragma: no cover - rejected by ExperimentConfig validation
+        raise ConfigError(f"sharded engine cannot run algorithm {config.algorithm!r}")
+    tables = shard_tables(topo, owned, phase_budget)
+
+    from repro.routing.oracle import oracle_routing_factory
+
+    routing_factory = oracle_routing_factory({phase_budget: tables})
+
+    def speed_of(sid: int) -> float:
+        return topo.site_speeds[sid] if topo.site_speeds is not None else 1.0
+
+    if config.algorithm == "rtds":
+        from repro.core.admission_cache import AdmissionCache
+        from repro.core.rtds import RTDSSite
+
+        net.admission_cache = AdmissionCache(enabled=config.admission_cache)
+        rtds_cfg = replace(config.rtds, surplus_window=config.surplus_window)
+        for sid in owned:
+            RTDSSite(
+                sid, net, rtds_cfg, speed=speed_of(sid), metrics=metrics,
+                routing_factory=routing_factory,
+            )
+    else:
+        from repro.baselines.local_only import LocalOnlySite
+
+        for sid in owned:
+            LocalOnlySite(
+                sid, net, surplus_window=config.surplus_window,
+                speed=speed_of(sid), metrics=metrics,
+                routing_factory=routing_factory,
+            )
+
+    for u, v, d in topo.edges:
+        u_in, v_in = u in owned_set, v in owned_set
+        if u_in and v_in:
+            net.add_link(u, v, d)
+        elif u_in or v_in:
+            net.add_boundary_link(u, v, d)
+    if config.link_throughput is not None:
+        for link in net.links():
+            link.throughput = config.link_throughput
+
+    sites = [net.site(sid) for sid in sorted(owned)]
+    for s in sites:
+        s.start()  # oracle routing binds synchronously at t=0
+    sim.run(until=None)
+    for s in sites:
+        if not s.routing.done:  # pragma: no cover - oracle start is synchronous
+            raise ConfigError(f"site {s.sid}: routing did not finish during setup")
+    return sim, net, metrics, sites, obs
+
+
+def _schedule_shard_workload(config, topo, owned_set, sim, net) -> float:
+    """Generate the full deterministic workload, schedule the owned slice.
+
+    Every worker regenerates the identical seeded workload (same spec,
+    same ``seed + 7``) and schedules only jobs originating on its owned
+    sites — same submission times, same relative order as one process.
+    Returns the drain horizon.
+    """
+    from repro.experiments.runner import _generate_batch_workload
+
+    class _ResidentShim:
+        """The two attributes ``_generate_batch_workload`` reads."""
+
+        n_base_sites = topo.n
+
+        @staticmethod
+        def capacities() -> List[float]:
+            if topo.site_speeds is not None:
+                return [topo.site_speeds[sid] for sid in range(topo.n)]
+            return [1.0 for _ in range(topo.n)]
+
+    workload = _generate_batch_workload(config, _ResidentShim)
+
+    def submit(job) -> None:
+        net.site(job.origin).submit_job(job.job, job.dag, job.deadline)
+
+    for job in workload:
+        if job.origin in owned_set:
+            sim.schedule_at(job.arrival, lambda j=job: submit(j))
+    horizon = workload.last_deadline() + config.drain_margin
+    if config.hygiene_interval is not None:
+        interval = config.hygiene_interval
+        sites = [net.site(sid) for sid in net.site_ids()]
+
+        def hygiene_tick() -> None:
+            keep_from = sim.now - config.surplus_window
+            if keep_from > 0:
+                for s in sites:
+                    prune = getattr(s, "prune_history", None)
+                    if prune is not None:
+                        prune(keep_from)
+            if sim.now + interval < horizon:
+                sim.schedule(interval, hygiene_tick)
+
+        sim.schedule(interval, hygiene_tick)
+    return horizon
+
+
+def _telemetry_blob(obs) -> Optional[Dict[str, Any]]:
+    """A picklable snapshot of one shard's telemetry registry.
+
+    Ships plain dicts/lists instead of the live :class:`Telemetry`
+    (reservoir timers hold a bound RNG method — not worth pickling).
+    """
+    if obs is None:
+        return None
+    return {
+        "counters": dict(obs.counters),
+        "gauges": dict(obs.gauges),
+        "timers": {
+            name: (t.count, t.total, t.min, t.max, list(t._sample))
+            for name, t in obs.timers.items()
+        },
+        "spans": list(obs.spans),
+    }
+
+
+def _shard_result(sim, net, metrics, obs) -> Dict[str, Any]:
+    """The end-of-run blob one worker ships back to the coordinator."""
+    cache = getattr(net, "admission_cache", None)
+    return {
+        "records": metrics.records(),
+        "orphans": metrics.orphan_completions,
+        "protocol_events": metrics.protocol_events,
+        "stats": (dict(net.stats.count), dict(net.stats.volume),
+                  net.stats.total, net.stats.total_volume),
+        "events_processed": sim.events_processed,
+        "wall_seconds": sim.wall_seconds,
+        "cache_stats": cache.stats() if cache is not None else None,
+        "telemetry": _telemetry_blob(obs),
+    }
+
+
+def _run_shard(conn, config, topo: Topology, plan, shard_id: int) -> None:
+    """The worker body: build, schedule, then serve the window protocol."""
+    gc.disable()  # same policy as the runner's _gc_paused, for the process's life
+    sim, net, metrics, _sites, obs = _build_shard(config, topo, plan, shard_id)
+    owned_set = frozenset(plan.parts[shard_id])
+    horizon = _schedule_shard_workload(config, topo, owned_set, sim, net)
+    conn.send(("ready", sim.peek_next_time(), horizon))
+    while True:
+        cmd = conn.recv()
+        op = cmd[0]
+        if op == "window":
+            _op, window_end, inbox = cmd
+            for wire in inbox:
+                net.deliver_wire(wire)
+            sim.run(until=window_end)
+            outbox = net.outbox
+            net.outbox = []
+            conn.send(("ok", outbox, sim.peek_next_time()))
+        elif op == "finish":
+            sim.run(until=horizon)
+            if net.outbox:  # pragma: no cover - the window loop drains first
+                raise RuntimeError(f"shard {shard_id}: undelivered outbox at finish")
+            conn.send(("done", _shard_result(sim, net, metrics, obs)))
+            return
+        else:  # pragma: no cover - protocol misuse
+            raise RuntimeError(f"shard {shard_id}: unknown command {op!r}")
+
+
+def shard_worker_main(conn, config, topo: Topology, plan, shard_id: int) -> None:
+    """Process entry point: run the shard, report any crash over the pipe."""
+    try:
+        _run_shard(conn, config, topo, plan, shard_id)
+    except BaseException:
+        try:
+            conn.send(("error", traceback.format_exc()))
+        except (BrokenPipeError, OSError):  # pragma: no cover - parent died
+            pass
+    finally:
+        conn.close()

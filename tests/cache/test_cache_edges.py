@@ -1,0 +1,90 @@
+"""Edge behaviour of the admission cache and its digest key.
+
+The differential suite (`test_cache_differential.py`) pins the cache's
+result-invisibility on whole runs; these tests pin the three boundary
+behaviours a run may never happen to exercise: the constant-time
+``(site, version)`` digest fallback past ``DIGEST_VALUE_MAX``, idempotent
+invalidation of never-cached jobs, and the zero-lookup hit rate.
+"""
+
+from repro.core.admission_cache import AdmissionCache
+from repro.sched.intervals import Reservation
+from repro.sched.plan import SchedulingPlan
+
+
+def _packed_plan(n_reservations: int) -> SchedulingPlan:
+    """A plan with ``n_reservations`` back-to-back unit reservations."""
+    plan = SchedulingPlan(site=0)
+    for i in range(n_reservations):
+        s = float(i)
+        plan.commit([Reservation(s, s + 1.0, job=i, task="t")])
+    return plan
+
+
+class TestDigestFallback:
+    def test_short_timeline_digests_by_value(self):
+        plan = _packed_plan(SchedulingPlan.DIGEST_VALUE_MAX)
+        digest = plan.state_digest()
+        assert digest != (plan.site, plan.version)
+        # the value form is the (starts, ends) signature: len-16 tuples
+        assert len(digest[0]) == SchedulingPlan.DIGEST_VALUE_MAX
+
+    def test_long_timeline_falls_back_to_site_version(self):
+        plan = _packed_plan(SchedulingPlan.DIGEST_VALUE_MAX + 1)
+        assert plan.state_digest() == (plan.site, plan.version)
+
+    def test_horizon_tail_uses_the_same_cutoff(self):
+        plan = _packed_plan(SchedulingPlan.DIGEST_VALUE_MAX + 8)
+        # a horizon that leaves <= DIGEST_VALUE_MAX visible reservations
+        # digests the tail by value again ...
+        horizon = float(8)
+        tail = plan.state_digest(horizon=horizon)
+        assert tail != (plan.site, plan.version)
+        # ... and a horizon exposing the whole long timeline falls back
+        assert plan.state_digest(horizon=0.0) == (plan.site, plan.version)
+
+    def test_fallback_still_changes_on_commit(self):
+        # staleness leg: the fallback form must move on every mutation
+        plan = _packed_plan(SchedulingPlan.DIGEST_VALUE_MAX + 1)
+        before = plan.state_digest()
+        s = float(SchedulingPlan.DIGEST_VALUE_MAX + 1)
+        plan.commit([Reservation(s, s + 1.0, job=999, task="x")])
+        assert plan.state_digest() != before
+
+
+class TestInvalidation:
+    def test_unknown_job_invalidates_nothing(self):
+        cache = AdmissionCache()
+        assert cache.invalidate_job(12345) == 0
+        assert cache.stats()["invalidations"] == 0
+
+    def test_invalidation_is_idempotent(self):
+        cache = AdmissionCache()
+        cache._by_job[7] = []  # teardown raced an empty entry list
+        assert cache.invalidate_job(7) == 0
+        assert cache.invalidate_job(7) == 0
+
+
+class TestHitRate:
+    def test_zero_lookups_is_zero_not_nan(self):
+        cache = AdmissionCache()
+        assert cache.hit_rate() == 0.0
+
+    def test_uncacheable_lookups_do_not_enter_the_rate(self):
+        cache = AdmissionCache()
+        cache.uncacheable = 5
+        assert cache.hit_rate() == 0.0
+        cache.hits = 3
+        cache.misses = 1
+        assert cache.hit_rate() == 0.75
+
+    def test_disabled_cache_reports_zero_rate(self):
+        cache = AdmissionCache(enabled=False)
+        assert cache.hit_rate() == 0.0
+        assert cache.stats() == {
+            "hits": 0,
+            "misses": 0,
+            "uncacheable": 0,
+            "invalidations": 0,
+            "live_entries": 0,
+        }

@@ -87,8 +87,10 @@ class TestCellKey:
     def test_numpy_values_normalize_to_python(self):
         import numpy as np
 
-        as_list = replace(SMALL, speeds=[1.0, 2.0])
-        as_array = replace(SMALL, speeds=np.array([1.0, 2.0]))
+        with pytest.warns(DeprecationWarning, match="speeds is deprecated"):
+            as_list = replace(SMALL, speeds=[1.0, 2.0])
+        with pytest.warns(DeprecationWarning, match="speeds is deprecated"):
+            as_array = replace(SMALL, speeds=np.array([1.0, 2.0]))
         assert cell_key(as_list) == cell_key(as_array)
 
     def test_lambda_factories_rejected(self):

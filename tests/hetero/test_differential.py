@@ -79,7 +79,9 @@ def test_trace_workload_differential():
 def test_legacy_speeds_and_site_speeds_agree():
     """The legacy cyclic ``speeds`` list and an equivalent ``site_speeds``
     vector must produce the same simulation."""
-    legacy = run_experiment(_base_config(speeds=[1.0, 2.0]))
+    with pytest.warns(DeprecationWarning, match="speeds is deprecated"):
+        legacy_cfg = _base_config(speeds=[1.0, 2.0])
+    legacy = run_experiment(legacy_cfg)
     explicit = run_experiment(_base_config(site_speeds=[1.0, 2.0]))
     _assert_snapshots_identical(legacy, explicit, "legacy-vs-site_speeds")
 

@@ -1,0 +1,94 @@
+"""The partitioner: deterministic, balanced, honest about the cut."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.simnet.sharded.partition import partition_topology
+from repro.simnet.topology import topology_factory
+
+
+def _grid(rows=8, cols=8, seed=0):
+    return topology_factory(
+        "grid", rows=rows, cols=cols, delay_range=(0.5, 1.0),
+        rng=np.random.default_rng(seed),
+    )
+
+
+def _geometric(n=64, seed=0):
+    radius = math.sqrt(8.0 / (math.pi * n))
+    return topology_factory("geometric", n=n, radius=radius, rng=np.random.default_rng(seed))
+
+
+def _ba(n=64, seed=0):
+    return topology_factory(
+        "barabasi_albert", n=n, m=3, delay_range=(0.2, 1.0),
+        rng=np.random.default_rng(seed),
+    )
+
+
+@pytest.mark.parametrize("make", [_grid, _geometric, _ba])
+@pytest.mark.parametrize("n_shards", [2, 3, 4])
+def test_partition_is_a_balanced_cover(make, n_shards):
+    topo = make()
+    plan = partition_topology(topo, n_shards)
+    assert plan.n == topo.n and plan.n_shards == n_shards
+    # parts cover every site exactly once and agree with the assignment
+    seen = sorted(sid for part in plan.parts for sid in part)
+    assert seen == list(range(topo.n))
+    for shard_id, part in enumerate(plan.parts):
+        assert part, "no shard may be empty"
+        assert list(part) == sorted(part)
+        for sid in part:
+            assert plan.assignment[sid] == shard_id
+            assert plan.shard_of(sid) == shard_id
+    # balance corridor the refinement sweep enforces
+    target = topo.n / n_shards
+    for part in plan.parts:
+        assert math.floor(0.75 * target) <= len(part) <= math.ceil(1.25 * target) + 1
+
+
+@pytest.mark.parametrize("make", [_grid, _geometric, _ba])
+def test_cut_edges_and_lookahead_are_exact(make):
+    topo = make()
+    plan = partition_topology(topo, 4)
+    expected = sorted(
+        (min(u, v), max(u, v), d)
+        for u, v, d in topo.edges
+        if plan.assignment[u] != plan.assignment[v]
+    )
+    assert list(plan.cut_edges) == expected
+    assert expected, "4-way cut of a connected graph must cut something"
+    assert plan.lookahead == min(d for _u, _v, d in expected)
+    assert plan.lookahead > 0
+
+
+def test_partition_is_deterministic():
+    topo = _geometric()
+    a = partition_topology(topo, 4)
+    b = partition_topology(topo, 4)
+    assert a == b
+
+
+def test_shard_count_validation():
+    topo = _grid(4, 4)
+    with pytest.raises(ConfigError):
+        partition_topology(topo, 1)
+    with pytest.raises(ConfigError):
+        partition_topology(topo, 17)
+    # n_shards == n is legal: one site per shard
+    plan = partition_topology(topo, 16)
+    assert all(len(p) == 1 for p in plan.parts)
+
+
+def test_disconnected_components_get_infinite_lookahead():
+    from repro.simnet.topology import Topology
+
+    # two disjoint triangles: a clean 2-cut exists with no cut edges
+    edges = ((0, 1, 1.0), (1, 2, 1.0), (0, 2, 1.0),
+             (3, 4, 1.0), (4, 5, 1.0), (3, 5, 1.0))
+    plan = partition_topology(Topology(6, edges, "two-triangles"), 2)
+    assert plan.cut_edges == ()
+    assert plan.lookahead == math.inf

@@ -129,6 +129,24 @@ class TestDesignMd:
             assert concept.lower() in lower, f"DESIGN.md must document {concept!r}"
         assert "bench_e9_hotpath.py" in text and "BENCH_e9.json" in text
 
+    def test_sharded_pdes_section(self):
+        """DESIGN.md §16 must document the sharded engine's contracts."""
+        text = read("DESIGN.md")
+        assert "Sharded PDES model" in text
+        assert "`repro.simnet.sharded`" in text
+        lower = text.lower()
+        for concept in (
+            "conservative lookahead",
+            "min inter-shard link delay",
+            "partition-friendly",
+            "bit-for-bit",
+            "null-message",
+            "closure",
+            "config_fingerprint",
+        ):
+            assert concept.lower() in lower, f"DESIGN.md must document {concept!r}"
+        assert "bench_e14_sharded.py" in text and "BENCH_e14.json" in text
+
     def test_parallel_runtime_section(self):
         """The campaign runtime must stay documented where it is built."""
         text = read("DESIGN.md")
@@ -162,7 +180,7 @@ class TestExperimentsMd:
     def test_every_sweep_entry_has_a_cli_line(self):
         """Each E1–E8 artifact must carry the exact line that reproduces it."""
         text = read("EXPERIMENTS.md")
-        for exp in ("E1", "E1b", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13"):
+        for exp in ("E1", "E1b", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14"):
             assert re.search(rf"### {re.escape(exp)} —", text), f"missing entry {exp}"
         # every experiment entry is followed by a runnable command line
         entries = re.split(r"### ", text)[1:]
@@ -232,6 +250,28 @@ class TestExperimentsMd:
         assert "tables_converged" in text
         assert "test_repair.py" in text
         assert "test_chaos.py" in text
+
+    def test_e14_entry_names_gate_and_cli(self):
+        """E14 must document the exactness gate, core arming and the CLI."""
+        text = read("EXPERIMENTS.md")
+        assert "bench_e14_sharded.py" in text
+        assert "BENCH_e14.json" in text
+        assert "--shards" in text
+        assert "tests/sharded" in text
+        assert "bit for bit" in text
+        assert "--tenk" in text
+
+    def test_experiment_numbers_are_unique(self):
+        """Every `### E<n> —` entry number appears exactly once.
+
+        Guards against the docs drift where a roadmap item and a shipped
+        experiment claim the same number (the E13 zoo/chaos collision).
+        """
+        text = read("EXPERIMENTS.md")
+        numbers = re.findall(r"^### (E\d+b?) —", text, flags=re.MULTILINE)
+        assert numbers, "EXPERIMENTS.md lost its experiment entries"
+        dupes = {n for n in numbers if numbers.count(n) > 1}
+        assert not dupes, f"duplicate experiment numbers in EXPERIMENTS.md: {dupes}"
 
 
 class TestReadme:
